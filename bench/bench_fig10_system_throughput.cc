@@ -1,0 +1,29 @@
+// Reproduces Figure 10: system-wide IoTps vs substations on 8 nodes, with
+// the scaling factors S_i relative to one substation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  benchutil::Args args = benchutil::ParseArgs(argc, argv);
+  benchutil::PrintHeader("Figure 10: system-wide IoTps and scaling factors "
+                         "(8 nodes)",
+                         "TPCx-IoT paper Fig. 10");
+
+  auto results = benchutil::Sweep(8, args.scale);
+  double base = results.empty() ? 0 : results[0].SystemIoTps();
+
+  printf("%12s %16s %10s %s\n", "substations", "IoTps", "S_i", "regime");
+  for (const auto& r : results) {
+    double s = base > 0 ? r.SystemIoTps() / base : 0;
+    const char* regime =
+        s > r.config.substations ? "super-linear"
+                                 : (r.config.substations > 1 ? "sub-linear"
+                                                             : "baseline");
+    printf("%12d %16.0f %10.2f %s\n", r.config.substations, r.SystemIoTps(),
+           s, regime);
+  }
+  printf("\nPaper reference: S_2=2.8, S_4=5.5, S_8=8.6 (super-linear), "
+         "S_16=13.7, S_32=19.0, S_48=18.6 (sub-linear).\n");
+  return 0;
+}

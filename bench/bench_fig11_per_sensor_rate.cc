@@ -1,0 +1,23 @@
+// Reproduces Figure 11: measured average per-sensor IoTps vs substations,
+// against the 20 kvps/s validity floor.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "iot/rules.h"
+
+int main(int argc, char** argv) {
+  benchutil::Args args = benchutil::ParseArgs(argc, argv);
+  benchutil::PrintHeader("Figure 11: per-sensor IoTps vs substations "
+                         "(8 nodes, floor = 20 kvps/s)",
+                         "TPCx-IoT paper Fig. 11");
+
+  auto results = benchutil::Sweep(8, args.scale);
+  printf("%12s %16s %10s\n", "substations", "per-sensor", "valid?");
+  for (const auto& r : results) {
+    printf("%12d %16.1f %10s\n", r.config.substations, r.PerSensorIoTps(),
+           r.MeetsRateRequirement() ? "yes" : "NO (<20)");
+  }
+  printf("\nPaper reference: 49.0, 67.5, 71.0, 52.9, 41.9, 29.1, 19.0 -- "
+         "the floor is crossed at 48 substations.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef IOTDB_BENCH_BENCH_UTIL_H_
+#define IOTDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "iot/experiments.h"
+
+namespace benchutil {
+
+/// Common command line for the figure benches:
+///   --scale=N   divide kvp counts and the run-time floors by N for quick
+///               runs (curve shapes preserved). Default 1 = paper scale.
+///   --full      alias for --scale=1.
+struct Args {
+  uint64_t scale = 1;
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  const char* env = getenv("TPCX_IOT_FULL");
+  if (env != nullptr && env[0] == '1') args.scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--full") == 0) {
+      args.scale = 1;
+    } else if (strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = strtoull(argv[i] + 8, nullptr, 10);
+      if (args.scale == 0) args.scale = 1;
+    }
+  }
+  return args;
+}
+
+/// Sweeps are cached per (nodes, scale) so the figure benches that share
+/// the Table I runs do not recompute them.
+inline std::string CachePath(int nodes, uint64_t scale) {
+  return "/tmp/tpcx_iot_sweep_n" + std::to_string(nodes) + "_s" +
+         std::to_string(scale) + ".cache";
+}
+
+inline std::vector<iotdb::iot::ExperimentResult> Sweep(int nodes,
+                                                       uint64_t scale) {
+  return iotdb::iot::SweepCached(nodes, scale, CachePath(nodes, scale));
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  printf("============================================================\n");
+  printf("%s\n", title);
+  printf("(reproduces %s; virtual-time gateway model, scale divisor applies"
+         " to kvp counts and run-time floors)\n",
+         paper_ref);
+  printf("============================================================\n");
+}
+
+}  // namespace benchutil
+
+#endif  // IOTDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,244 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "storage/bloom.h"  // reuse BloomHash as the shard hash
+
+namespace iotdb {
+namespace cluster {
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {}
+
+Cluster::~Cluster() = default;
+
+Result<std::unique_ptr<Cluster>> Cluster::Start(
+    const ClusterOptions& options) {
+  auto cluster = std::unique_ptr<Cluster>(new Cluster(options));
+  if (cluster->options_.num_nodes < 1) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  if (cluster->options_.storage_options.env == nullptr) {
+    cluster->owned_env_ = storage::NewMemEnv();
+    cluster->options_.storage_options.env = cluster->owned_env_.get();
+  }
+  for (int i = 0; i < cluster->options_.num_nodes; ++i) {
+    std::string dir =
+        cluster->options_.data_root + "/node" + std::to_string(i);
+    IOTDB_ASSIGN_OR_RETURN(
+        auto node,
+        Node::Start(i, cluster->options_.storage_options, dir));
+    cluster->nodes_.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+int Cluster::effective_replication() const {
+  return std::min(options_.replication_factor, num_nodes());
+}
+
+Slice Cluster::ShardKeyOf(const Slice& row_key) const {
+  if (options_.shard_key_fn) return options_.shard_key_fn(row_key);
+  return row_key;
+}
+
+int Cluster::PrimaryNodeFor(const Slice& row_key) const {
+  uint32_t h = storage::BloomHash(ShardKeyOf(row_key));
+  return static_cast<int>(h % static_cast<uint32_t>(num_nodes()));
+}
+
+std::vector<int> Cluster::ReplicaNodesFor(const Slice& row_key) const {
+  return ReplicaNodesForShardKey(ShardKeyOf(row_key));
+}
+
+std::vector<int> Cluster::ReplicaNodesForShardKey(
+    const Slice& shard_key) const {
+  uint32_t h = storage::BloomHash(shard_key);
+  int primary = static_cast<int>(h % static_cast<uint32_t>(num_nodes()));
+  int replicas = effective_replication();
+  std::vector<int> result;
+  result.reserve(replicas);
+  for (int i = 0; i < replicas; ++i) {
+    result.push_back((primary + i) % num_nodes());
+  }
+  return result;
+}
+
+NodeStats Cluster::GetAggregateStats() const {
+  NodeStats total;
+  for (const auto& node : nodes_) {
+    NodeStats s = node->GetStats();
+    total.writes += s.writes;
+    total.primary_writes += s.primary_writes;
+    total.reads += s.reads;
+    total.scans += s.scans;
+    total.scan_rows_read += s.scan_rows_read;
+    total.bytes_written += s.bytes_written;
+  }
+  return total;
+}
+
+std::string Cluster::Describe() {
+  std::string out;
+  char line[256];
+  NodeStats total = GetAggregateStats();
+  snprintf(line, sizeof(line),
+           "cluster: %d nodes, replication %d (effective %d), imbalance "
+           "CoV %.3f\n",
+           num_nodes(), options_.replication_factor,
+           effective_replication(), PrimaryLoadImbalance());
+  out += line;
+  for (const auto& node : nodes_) {
+    NodeStats stats = node->GetStats();
+    storage::KVStoreStats engine = node->store()->GetStats();
+    double share = total.primary_writes == 0
+                       ? 0
+                       : 100.0 * stats.primary_writes /
+                             total.primary_writes;
+    int total_files = 0;
+    for (int level = 0; level < storage::kNumLevels; ++level) {
+      total_files += engine.num_files[level];
+    }
+    uint64_t cache_lookups = engine.block_cache_hits +
+                             engine.block_cache_misses;
+    snprintf(line, sizeof(line),
+             "  node %d [%s]: %llu primary kvps (%.1f%%), %llu scans, "
+             "L0=%d files=%d flushes=%llu compactions=%llu "
+             "stall=%.1fms cache-hit=%.0f%%\n",
+             node->id(), node->is_down() ? "DOWN" : "up",
+             static_cast<unsigned long long>(stats.primary_writes), share,
+             static_cast<unsigned long long>(stats.scans),
+             engine.num_files[0], total_files,
+             static_cast<unsigned long long>(engine.memtable_flushes),
+             static_cast<unsigned long long>(engine.compactions),
+             engine.write_stall_micros / 1000.0,
+             cache_lookups == 0
+                 ? 0.0
+                 : 100.0 * engine.block_cache_hits / cache_lookups);
+    out += line;
+  }
+  return out;
+}
+
+double Cluster::PrimaryLoadImbalance() const {
+  double sum = 0, sum_squares = 0;
+  int live = 0;
+  for (const auto& node : nodes_) {
+    if (node->is_down()) continue;
+    double writes = static_cast<double>(node->GetStats().primary_writes);
+    sum += writes;
+    sum_squares += writes * writes;
+    live++;
+  }
+  if (live == 0 || sum == 0) return 0;
+  double mean = sum / live;
+  double variance = sum_squares / live - mean * mean;
+  return variance <= 0 ? 0 : std::sqrt(variance) / mean;
+}
+
+Status Cluster::PurgeAll() {
+  for (auto& node : nodes_) {
+    IOTDB_RETURN_NOT_OK(node->Purge());
+  }
+  return Status::OK();
+}
+
+Status Cluster::FlushAll() {
+  for (auto& node : nodes_) {
+    IOTDB_RETURN_NOT_OK(node->store()->FlushMemTable());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  std::vector<int> replicas = cluster_->ReplicaNodesFor(key);
+  bool primary = true;
+  for (int node_id : replicas) {
+    storage::WriteBatch batch;
+    batch.Put(key, value);
+    IOTDB_RETURN_NOT_OK(cluster_->node(node_id)->ApplyBatch(
+        &batch, primary, 1, key.size() + value.size()));
+    primary = false;
+  }
+  return Status::OK();
+}
+
+Status Client::PutBatch(
+    const std::vector<std::pair<std::string, std::string>>& kvps) {
+  // Group rows by primary node; each group replicates as one batch.
+  struct Group {
+    storage::WriteBatch batch;
+    uint64_t kvps = 0;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<int, Group> groups;
+  for (const auto& [key, value] : kvps) {
+    Group& g = groups[cluster_->PrimaryNodeFor(key)];
+    g.batch.Put(key, value);
+    g.kvps++;
+    g.bytes += key.size() + value.size();
+  }
+  for (auto& [primary, group] : groups) {
+    int replicas = cluster_->effective_replication();
+    for (int i = 0; i < replicas; ++i) {
+      int node_id = (primary + i) % cluster_->num_nodes();
+      // WriteBatch sequence numbers are assigned per node store, so each
+      // replica gets its own copy of the batch.
+      storage::WriteBatch copy;
+      copy.Append(group.batch);
+      IOTDB_RETURN_NOT_OK(cluster_->node(node_id)->ApplyBatch(
+          &copy, /*as_primary=*/i == 0, group.kvps, group.bytes));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Get(const Slice& key) {
+  Status last_error = Status::IOError("no replicas available");
+  for (int node_id : cluster_->ReplicaNodesFor(key)) {
+    Node* node = cluster_->node(node_id);
+    if (node->is_down()) continue;
+    auto result = node->Get(key);
+    if (result.ok() || result.status().IsNotFound()) return result;
+    last_error = result.status();
+  }
+  return last_error;
+}
+
+Status Client::MultiGet(const std::vector<std::string>& keys,
+                        std::vector<std::optional<std::string>>* out) {
+  out->assign(keys.size(), std::nullopt);
+  Status first_error;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto result = Get(keys[i]);
+    if (result.ok()) {
+      (*out)[i] = std::move(result).MoveValueUnsafe();
+    } else if (!result.status().IsNotFound() && first_error.ok()) {
+      first_error = result.status();
+    }
+  }
+  return first_error;
+}
+
+Status Client::Scan(const Slice& shard_key, const Slice& start,
+                    const Slice& end_exclusive, size_t limit,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  Status last_error = Status::IOError("no replicas available");
+  for (int node_id : cluster_->ReplicaNodesForShardKey(shard_key)) {
+    Node* node = cluster_->node(node_id);
+    if (node->is_down()) continue;
+    Status s = node->Scan(start, end_exclusive, limit, out);
+    if (s.ok()) return s;
+    last_error = s;
+  }
+  return last_error;
+}
+
+}  // namespace cluster
+}  // namespace iotdb

@@ -1,0 +1,123 @@
+#ifndef IOTDB_CLUSTER_CLUSTER_H_
+#define IOTDB_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace iotdb {
+namespace cluster {
+
+class Client;
+
+/// An in-process gateway cluster (the System Under Test of TPCx-IoT): N
+/// nodes each running a KVStore, hash-sharded by a configurable shard key,
+/// with synchronous replication to `replication_factor` distinct nodes.
+///
+///   ClusterOptions opts;
+///   opts.num_nodes = 8;
+///   auto cluster = Cluster::Start(opts).MoveValueUnsafe();
+///   Client client(cluster.get());
+///   client.Put(key, value);
+class Cluster {
+ public:
+  static Result<std::unique_ptr<Cluster>> Start(const ClusterOptions& options);
+
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node* node(int i) { return nodes_[i].get(); }
+
+  const ClusterOptions& options() const { return options_; }
+
+  /// Effective number of distinct replicas per write.
+  int effective_replication() const;
+
+  /// Shard id (primary node) for a row key.
+  int PrimaryNodeFor(const Slice& row_key) const;
+
+  /// Distinct replica node ids for a row key, primary first.
+  std::vector<int> ReplicaNodesFor(const Slice& row_key) const;
+
+  /// Replica node ids for an already-extracted shard key (no shard_key_fn
+  /// application), primary first.
+  std::vector<int> ReplicaNodesForShardKey(const Slice& shard_key) const;
+
+  /// Aggregated and per-node statistics.
+  NodeStats GetNodeStats(int i) const { return nodes_[i]->GetStats(); }
+  NodeStats GetAggregateStats() const;
+
+  /// Multi-line human-readable cluster state: per-node liveness, primary
+  /// write share, storage-engine shape (files per level, stalls, cache
+  /// hit rate). The operator-facing "describe cluster" output.
+  std::string Describe();
+
+  /// Coefficient of variation of primary-write load across live nodes:
+  /// 0 = perfectly balanced. The balancer metric behind Figure 15.
+  double PrimaryLoadImbalance() const;
+
+  /// Purges all data from every node (TPCx-IoT system cleanup between
+  /// benchmark iterations).
+  Status PurgeAll();
+
+  /// Flushes every node's memtable (used by deterministic tests).
+  Status FlushAll();
+
+ private:
+  explicit Cluster(const ClusterOptions& options);
+
+  Slice ShardKeyOf(const Slice& row_key) const;
+
+  ClusterOptions options_;
+  std::unique_ptr<storage::Env> owned_env_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// Routing client. Cheap to copy construct per thread; thread-safe because
+/// nodes are.
+class Client {
+ public:
+  explicit Client(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Writes one kvp to all replicas, synchronously.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Writes a group of kvps: groups by primary node, then applies each
+  /// group's batch to that shard's replica set. Mirrors the HBase client
+  /// write buffer flush path.
+  Status PutBatch(
+      const std::vector<std::pair<std::string, std::string>>& kvps);
+
+  /// Reads from the primary, failing over to replicas if it is down.
+  Result<std::string> Get(const Slice& key);
+
+  /// Point-reads many keys; out[i] is the value for keys[i] or empty when
+  /// absent/unreadable. Returns the first non-NotFound error encountered,
+  /// OK otherwise. Groups nothing (reads are independent), but saves the
+  /// per-call routing setup.
+  Status MultiGet(const std::vector<std::string>& keys,
+                  std::vector<std::optional<std::string>>* out);
+
+  /// Range scan within a single shard: `shard_key` routes the request; the
+  /// scan range [start, end_exclusive) must lie within that shard's rows.
+  Status Scan(const Slice& shard_key, const Slice& start,
+              const Slice& end_exclusive, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace cluster
+}  // namespace iotdb
+
+#endif  // IOTDB_CLUSTER_CLUSTER_H_

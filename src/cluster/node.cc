@@ -1,0 +1,76 @@
+#include "cluster/node.h"
+
+namespace iotdb {
+namespace cluster {
+
+Node::Node(int id, const storage::Options& options, std::string data_dir)
+    : id_(id), options_(options), data_dir_(std::move(data_dir)) {}
+
+Result<std::unique_ptr<Node>> Node::Start(int id,
+                                          const storage::Options& options,
+                                          const std::string& data_dir) {
+  auto node = std::unique_ptr<Node>(new Node(id, options, data_dir));
+  IOTDB_ASSIGN_OR_RETURN(node->store_,
+                         storage::KVStore::Open(options, data_dir));
+  return node;
+}
+
+Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
+                        uint64_t kvps, uint64_t bytes) {
+  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
+                                        " is down");
+  IOTDB_RETURN_NOT_OK(store_->Write(storage::WriteOptions(), batch));
+  writes_.fetch_add(kvps, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  if (as_primary) {
+    primary_writes_.fetch_add(kvps, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Node::Get(const Slice& key) {
+  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
+                                        " is down");
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return store_->Get(storage::ReadOptions(), key);
+}
+
+Status Node::Scan(const Slice& start, const Slice& end_exclusive,
+                  size_t limit,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
+                                        " is down");
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  size_t before = out->size();
+  IOTDB_RETURN_NOT_OK(
+      store_->Scan(storage::ReadOptions(), start, end_exclusive, limit, out));
+  scan_rows_read_.fetch_add(out->size() - before, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+NodeStats Node::GetStats() const {
+  NodeStats stats;
+  stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.primary_writes = primary_writes_.load(std::memory_order_relaxed);
+  stats.reads = reads_.load(std::memory_order_relaxed);
+  stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.scan_rows_read = scan_rows_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status Node::Purge() {
+  store_.reset();
+  IOTDB_RETURN_NOT_OK(storage::KVStore::Destroy(options_, data_dir_));
+  IOTDB_ASSIGN_OR_RETURN(store_, storage::KVStore::Open(options_, data_dir_));
+  writes_ = 0;
+  primary_writes_ = 0;
+  reads_ = 0;
+  scans_ = 0;
+  scan_rows_read_ = 0;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+}  // namespace cluster
+}  // namespace iotdb

@@ -1,0 +1,74 @@
+#ifndef IOTDB_CLUSTER_NODE_H_
+#define IOTDB_CLUSTER_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/kvstore.h"
+
+namespace iotdb {
+namespace cluster {
+
+/// Per-node operation counters (exposed through Cluster::GetNodeStats).
+struct NodeStats {
+  uint64_t writes = 0;           // kvps written (primary + replica)
+  uint64_t primary_writes = 0;   // kvps written as primary
+  uint64_t reads = 0;
+  uint64_t scans = 0;
+  uint64_t scan_rows_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// One gateway node: a region server wrapping a private KVStore instance.
+/// All member functions are thread-safe.
+class Node {
+ public:
+  static Result<std::unique_ptr<Node>> Start(int id,
+                                             const storage::Options& options,
+                                             const std::string& data_dir);
+
+  int id() const { return id_; }
+  bool is_down() const { return down_.load(std::memory_order_acquire); }
+  void SetDown(bool down) { down_.store(down, std::memory_order_release); }
+
+  storage::KVStore* store() { return store_.get(); }
+
+  /// Applies a replicated write batch. `as_primary` only affects counters.
+  Status ApplyBatch(storage::WriteBatch* batch, bool as_primary,
+                    uint64_t kvps, uint64_t bytes);
+
+  Result<std::string> Get(const Slice& key);
+
+  Status Scan(const Slice& start, const Slice& end_exclusive, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  NodeStats GetStats() const;
+
+  /// Drops all data and reopens the store (TPCx-IoT system cleanup).
+  Status Purge();
+
+ private:
+  Node(int id, const storage::Options& options, std::string data_dir);
+
+  const int id_;
+  storage::Options options_;
+  const std::string data_dir_;
+  std::unique_ptr<storage::KVStore> store_;
+  std::atomic<bool> down_{false};
+
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> primary_writes_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> scan_rows_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace cluster
+}  // namespace iotdb
+
+#endif  // IOTDB_CLUSTER_NODE_H_

@@ -1,0 +1,43 @@
+#ifndef IOTDB_CLUSTER_OPTIONS_H_
+#define IOTDB_CLUSTER_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/slice.h"
+#include "storage/options.h"
+
+namespace iotdb {
+namespace cluster {
+
+/// Extracts the sharding key from a row key. Rows with equal shard keys are
+/// guaranteed to live in the same region, so range scans within one shard
+/// key touch a single node. TPCx-IoT shards by (substation, sensor) prefix.
+using ShardKeyFn = std::function<Slice(const Slice&)>;
+
+/// Configuration of an in-process gateway cluster.
+struct ClusterOptions {
+  /// Number of gateway nodes (the paper evaluates 2, 4, and 8).
+  int num_nodes = 2;
+
+  /// Synchronous replicas per write. TPCx-IoT's prerequisite check requires
+  /// three-way replication; replicas land on distinct nodes, so the
+  /// effective copy count is min(replication_factor, num_nodes).
+  int replication_factor = 3;
+
+  /// Storage engine options applied to every node's store. The env defaults
+  /// to one shared MemEnv created by the cluster.
+  storage::Options storage_options;
+
+  /// Directory prefix for node stores within the env.
+  std::string data_root = "/gateway";
+
+  /// Shard key extractor; defaults to the whole key.
+  ShardKeyFn shard_key_fn;
+};
+
+}  // namespace cluster
+}  // namespace iotdb
+
+#endif  // IOTDB_CLUSTER_OPTIONS_H_

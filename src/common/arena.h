@@ -1,0 +1,44 @@
+#ifndef IOTDB_COMMON_ARENA_H_
+#define IOTDB_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace iotdb {
+
+/// Bump allocator backing the memtable skiplist. Allocations are freed all at
+/// once when the Arena is destroyed (i.e., when a memtable is dropped after
+/// flush). Not thread-safe for allocation; the memtable serialises writers.
+class Arena {
+ public:
+  Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of uninitialised memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but with malloc-style (pointer-size) alignment, required
+  /// for skiplist nodes containing atomics.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint (allocated blocks plus bookkeeping).
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_ARENA_H_

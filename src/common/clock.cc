@@ -1,0 +1,36 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace iotdb {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  uint64_t PosixSeconds() const override {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+}  // namespace iotdb

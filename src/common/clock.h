@@ -1,0 +1,45 @@
+#ifndef IOTDB_COMMON_CLOCK_H_
+#define IOTDB_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace iotdb {
+
+/// Time source abstraction. All library code that needs time takes a Clock so
+/// tests and the discrete-event simulator can substitute virtual time.
+/// Units are microseconds throughout.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch (monotonic).
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Sleeps (or advances virtual time by) the given number of microseconds.
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  /// Wall-clock POSIX seconds; the kvp key timestamp field uses this.
+  virtual uint64_t PosixSeconds() const { return NowMicros() / 1000000; }
+
+  /// The process-wide real clock.
+  static Clock* Real();
+};
+
+/// A manually-advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_; }
+  void SleepMicros(uint64_t micros) override { now_ += micros; }
+  void Advance(uint64_t micros) { now_ += micros; }
+  void Set(uint64_t micros) { now_ = micros; }
+
+ private:
+  uint64_t now_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_CLOCK_H_

@@ -1,0 +1,73 @@
+#ifndef IOTDB_COMMON_CODING_H_
+#define IOTDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace iotdb {
+
+/// Little-endian fixed-width and LEB128 varint encoding primitives used by
+/// the WAL record format, SSTable blocks, and key codecs.
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends a LEB128 varint encoding of value to *dst.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends varint(value.size()) followed by the bytes of value.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a varint from the front of *input, advancing it. Returns false on
+/// malformed or truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parses a length-prefixed slice from the front of *input, advancing it.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes the varint encoding of v occupies.
+int VarintLength(uint64_t v);
+
+/// Lower-level pointer-based variants. Encoders return one past the last
+/// written byte; decoders return nullptr on failure.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Encodes a uint64 so that the lexicographic order of the encodings matches
+/// the numeric order (big-endian). Used for timestamp components of row keys.
+void PutBigEndian64(std::string* dst, uint64_t value);
+uint64_t DecodeBigEndian64(const char* ptr);
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_CODING_H_

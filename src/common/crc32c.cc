@@ -1,0 +1,44 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace iotdb {
+namespace crc32c {
+
+namespace {
+
+// Table-driven CRC32C (Castagnoli, reflected polynomial 0x82f63b78),
+// generated at first use.
+struct Table {
+  std::array<uint32_t, 256> entries;
+  Table() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& table = GetTable();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace iotdb

@@ -1,0 +1,129 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace iotdb {
+
+namespace {
+
+std::vector<uint64_t> MakeBucketLimits() {
+  std::vector<uint64_t> limits;
+  uint64_t v = 1;
+  while (v < std::numeric_limits<uint64_t>::max() / 2) {
+    limits.push_back(v);
+    uint64_t next = static_cast<uint64_t>(v * 1.045) + 1;
+    v = next;
+  }
+  limits.push_back(std::numeric_limits<uint64_t>::max());
+  return limits;
+}
+
+}  // namespace
+
+const std::vector<uint64_t>& Histogram::BucketLimits() {
+  static const std::vector<uint64_t>* limits =
+      new std::vector<uint64_t>(MakeBucketLimits());
+  return *limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(BucketLimits().size(), 0);
+}
+
+size_t Histogram::BucketIndexFor(uint64_t value) const {
+  const auto& limits = BucketLimits();
+  // First bucket whose (exclusive) upper limit is > value.
+  auto it = std::upper_bound(limits.begin(), limits.end(), value);
+  if (it == limits.end()) return limits.size() - 1;
+  return static_cast<size_t>(it - limits.begin());
+}
+
+void Histogram::Add(uint64_t value) {
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  sum_squares_ += static_cast<double>(value) * static_cast<double>(value);
+  buckets_[BucketIndexFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double variance = (sum_squares_ - sum_ * sum_ / n) / n;
+  return variance > 0 ? std::sqrt(variance) : 0.0;
+}
+
+double Histogram::CoefficientOfVariation() const {
+  double mean = Mean();
+  if (mean == 0.0) return 0.0;
+  return StdDev() / mean;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto& limits = BucketLimits();
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      // Interpolate within the bucket [lower, upper).
+      double left_sum = cumulative - static_cast<double>(buckets_[i]);
+      double pos = buckets_[i] == 0
+                       ? 0.0
+                       : (threshold - left_sum) /
+                             static_cast<double>(buckets_[i]);
+      double lower = (i == 0) ? 0.0 : static_cast<double>(limits[i - 1]);
+      double upper = static_cast<double>(limits[i]);
+      double r = lower + (upper - lower) * pos;
+      // Clamp to observed range.
+      r = std::max(r, static_cast<double>(min()));
+      r = std::min(r, static_cast<double>(max_));
+      return r;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu min=%llu max=%llu mean=%.2f stddev=%.2f cov=%.2f "
+           "p50=%.1f p95=%.1f p99=%.1f",
+           static_cast<unsigned long long>(count_),
+           static_cast<unsigned long long>(min()),
+           static_cast<unsigned long long>(max_), Mean(), StdDev(),
+           CoefficientOfVariation(), Percentile(50), Percentile(95),
+           Percentile(99));
+  return std::string(buf);
+}
+
+}  // namespace iotdb

@@ -1,0 +1,59 @@
+#ifndef IOTDB_COMMON_HISTOGRAM_H_
+#define IOTDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotdb {
+
+/// A latency histogram with geometric bucket boundaries (~5% resolution),
+/// exact min/max/count/sum/sum-of-squares. Tracks everything needed by the
+/// paper's Figures 13/14: average, percentiles, and the coefficient of
+/// variation (stddev / mean). Values are unit-agnostic; the benchmark stores
+/// microseconds.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double StdDev() const;
+
+  /// Coefficient of variation, stddev/mean (Fig. 14 annotation).
+  double CoefficientOfVariation() const;
+
+  /// Approximate value at percentile p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+
+  /// Bucket limits are shared by all histograms (geometric, factor ~1.045).
+  static const std::vector<uint64_t>& BucketLimits();
+
+ private:
+  size_t BucketIndexFor(uint64_t value) const;
+
+  uint64_t count_;
+  uint64_t min_;
+  uint64_t max_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_HISTOGRAM_H_

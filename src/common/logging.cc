@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace iotdb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_write_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::Level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace iotdb

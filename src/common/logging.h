@@ -1,0 +1,45 @@
+#ifndef IOTDB_COMMON_LOGGING_H_
+#define IOTDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace iotdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The benchmark driver raises the
+/// level to kWarn during measured runs so logging does not perturb timing.
+class Logger {
+ public:
+  static LogLevel Level();
+  static void SetLevel(LogLevel level);
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace logging_internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+#define IOTDB_LOG(level_suffix)                                     \
+  if (::iotdb::LogLevel::k##level_suffix < ::iotdb::Logger::Level()) \
+    ;                                                               \
+  else                                                              \
+    ::iotdb::logging_internal::LogMessage(                          \
+        ::iotdb::LogLevel::k##level_suffix)                         \
+        .stream()
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_LOGGING_H_

@@ -1,0 +1,42 @@
+#ifndef IOTDB_COMMON_MD5_H_
+#define IOTDB_COMMON_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace iotdb {
+
+/// Streaming MD5 (RFC 1321). TPCx-IoT's prerequisite "file check" compares
+/// md5sums of the non-changeable kit files against reference checksums; this
+/// implementation backs iot::FileCheck.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs more input bytes.
+  void Update(const void* data, size_t len);
+  void Update(const Slice& s) { Update(s.data(), s.size()); }
+
+  /// Finalises and returns the 16-byte digest. The object must not be used
+  /// again afterwards.
+  std::array<uint8_t, 16> Finish();
+
+  /// Convenience: lowercase hex digest of a byte string, as printed by
+  /// `md5sum`.
+  static std::string HexDigest(const Slice& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_MD5_H_

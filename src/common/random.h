@@ -1,0 +1,63 @@
+#ifndef IOTDB_COMMON_RANDOM_H_
+#define IOTDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace iotdb {
+
+/// A small, fast, reproducible PRNG (xorshift64*). Deterministic across
+/// platforms, which the workload generators and the discrete-event simulator
+/// rely on for repeatable experiments.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull
+                                                    : seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Exponentially distributed value with the given mean (for simulated
+  /// inter-arrival and service jitter).
+  double Exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double Gaussian(double mean, double stddev);
+
+  /// Uniformly random printable ASCII string of exactly `len` bytes.
+  std::string RandomPrintableString(size_t len);
+
+  /// Skewed value in [0, n) where smaller values are more likely
+  /// ("max_log"-style skew used by random test sizing).
+  uint64_t Skewed(int max_log) { return Uniform(1ull << Uniform(max_log + 1)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_RANDOM_H_

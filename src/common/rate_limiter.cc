@@ -1,0 +1,64 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotdb {
+
+RateLimiter::RateLimiter(double rate_per_sec, double burst, Clock* clock)
+    : rate_per_sec_(rate_per_sec > 0 ? rate_per_sec : 1.0),
+      burst_(burst > 0 ? burst : 1.0),
+      available_(burst_),
+      last_refill_micros_(clock->NowMicros()),
+      clock_(clock) {}
+
+void RateLimiter::Refill(uint64_t now_micros) {
+  if (now_micros <= last_refill_micros_) return;
+  double elapsed_sec =
+      static_cast<double>(now_micros - last_refill_micros_) / 1e6;
+  available_ = std::min(burst_, available_ + elapsed_sec * rate_per_sec_);
+  last_refill_micros_ = now_micros;
+}
+
+bool RateLimiter::TryAcquire(double permits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill(clock_->NowMicros());
+  if (available_ >= permits) {
+    available_ -= permits;
+    return true;
+  }
+  return false;
+}
+
+uint64_t RateLimiter::WaitTimeMicros(double permits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill(clock_->NowMicros());
+  if (available_ >= permits) return 0;
+  double deficit = permits - available_;
+  return static_cast<uint64_t>(std::ceil(deficit / rate_per_sec_ * 1e6));
+}
+
+void RateLimiter::Acquire(double permits) {
+  for (;;) {
+    uint64_t wait;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Refill(clock_->NowMicros());
+      if (available_ >= permits) {
+        available_ -= permits;
+        return;
+      }
+      double deficit = permits - available_;
+      wait = static_cast<uint64_t>(std::ceil(deficit / rate_per_sec_ * 1e6));
+    }
+    clock_->SleepMicros(std::max<uint64_t>(wait, 1));
+  }
+}
+
+void RateLimiter::SetRate(double rate_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Refill(clock_->NowMicros());
+  rate_per_sec_ = rate_per_sec > 0 ? rate_per_sec : 1.0;
+}
+
+}  // namespace iotdb

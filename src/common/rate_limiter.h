@@ -1,0 +1,45 @@
+#ifndef IOTDB_COMMON_RATE_LIMITER_H_
+#define IOTDB_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace iotdb {
+
+/// Token-bucket rate limiter. Used to throttle client target throughput
+/// (YCSB -target) and to model bandwidth ceilings in the cluster.
+/// Thread-safe.
+class RateLimiter {
+ public:
+  /// rate_per_sec: steady-state permits per second. burst: bucket capacity.
+  RateLimiter(double rate_per_sec, double burst, Clock* clock);
+
+  /// Non-blocking: consume `permits` if available now.
+  bool TryAcquire(double permits = 1.0);
+
+  /// Blocking: waits (via clock->SleepMicros) until permits are available.
+  void Acquire(double permits = 1.0);
+
+  /// Micros the caller would need to wait for `permits` to be available,
+  /// without consuming anything. 0 means available now.
+  uint64_t WaitTimeMicros(double permits = 1.0);
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  void SetRate(double rate_per_sec);
+
+ private:
+  void Refill(uint64_t now_micros);
+
+  std::mutex mu_;
+  double rate_per_sec_;
+  double burst_;
+  double available_;
+  uint64_t last_refill_micros_;
+  Clock* clock_;
+};
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_RATE_LIMITER_H_

@@ -1,0 +1,72 @@
+#ifndef IOTDB_COMMON_RESULT_H_
+#define IOTDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace iotdb {
+
+/// A value-or-error holder: either a T or a non-OK Status. Mirrors
+/// arrow::Result. Use ValueOrDie() only where failure is a programming error;
+/// production code should check ok() first or use MoveValueUnsafe after a
+/// check.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& MoveValueUnsafe() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds the
+/// value. Usage: IOTDB_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(p));
+#define IOTDB_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  decl = std::move(tmp).MoveValueUnsafe();
+
+#define IOTDB_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define IOTDB_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  IOTDB_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define IOTDB_ASSIGN_OR_RETURN(decl, expr)                                  \
+  IOTDB_ASSIGN_OR_RETURN_IMPL(                                              \
+      IOTDB_ASSIGN_OR_RETURN_CONCAT(_result_tmp_, __LINE__), decl, expr)
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_RESULT_H_

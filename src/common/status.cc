@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace iotdb {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* type = "";
+  switch (state_->code) {
+    case Code::kOk:
+      type = "OK";
+      break;
+    case Code::kNotFound:
+      type = "Not found";
+      break;
+    case Code::kCorruption:
+      type = "Corruption";
+      break;
+    case Code::kNotSupported:
+      type = "Not supported";
+      break;
+    case Code::kInvalidArgument:
+      type = "Invalid argument";
+      break;
+    case Code::kIOError:
+      type = "IO error";
+      break;
+    case Code::kBusy:
+      type = "Busy";
+      break;
+    case Code::kAborted:
+      type = "Aborted";
+      break;
+    case Code::kTimedOut:
+      type = "Timed out";
+      break;
+    case Code::kFailedCheck:
+      type = "Failed check";
+      break;
+  }
+  std::string result(type);
+  if (!state_->msg.empty()) {
+    result += ": ";
+    result += state_->msg;
+  }
+  return result;
+}
+
+}  // namespace iotdb

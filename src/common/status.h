@@ -1,0 +1,115 @@
+#ifndef IOTDB_COMMON_STATUS_H_
+#define IOTDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace iotdb {
+
+/// Outcome of a fallible operation, in the Arrow/RocksDB idiom. The library
+/// never throws across public API boundaries; every operation that can fail
+/// returns a Status (or a Result<T>, see result.h). An OK status carries no
+/// allocation.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kAborted = 7,
+    kTimedOut = 8,
+    kFailedCheck = 9,  // a TPCx-IoT prerequisite/data check failed
+  };
+
+  Status() : state_(nullptr) {}
+  ~Status() = default;
+
+  Status(const Status& rhs)
+      : state_(rhs.state_ ? std::make_unique<State>(*rhs.state_) : nullptr) {}
+  Status& operator=(const Status& rhs) {
+    if (this != &rhs) {
+      state_ = rhs.state_ ? std::make_unique<State>(*rhs.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status FailedCheck(std::string msg) {
+    return Status(Code::kFailedCheck, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsTimedOut() const { return code() == Code::kTimedOut; }
+  bool IsFailedCheck() const { return code() == Code::kFailedCheck; }
+
+  Code code() const { return state_ ? state_->code : Code::kOk; }
+
+  /// Human-readable form, e.g. "IO error: wal.log: short read".
+  std::string ToString() const;
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+ private:
+  struct State {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, std::string msg)
+      : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  std::unique_ptr<State> state_;  // null means OK
+};
+
+/// Evaluates an expression returning Status and propagates a failure to the
+/// caller. Usage: IOTDB_RETURN_NOT_OK(file->Append(data));
+#define IOTDB_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::iotdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace iotdb
+
+#endif  // IOTDB_COMMON_STATUS_H_

@@ -1,0 +1,213 @@
+#include "iot/benchmark_driver.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "ycsb/bindings.h"
+
+namespace iotdb {
+namespace iot {
+
+Slice TpcxIotShardKey(const Slice& row_key) {
+  return KvpCodec::ShardPrefixOf(row_key);
+}
+
+uint64_t WorkloadExecution::TotalQueries() const {
+  uint64_t n = 0;
+  for (const auto& d : drivers) n += d.queries_executed;
+  return n;
+}
+
+uint64_t WorkloadExecution::TotalQueryRows() const {
+  uint64_t n = 0;
+  for (const auto& d : drivers) n += d.query_rows_read;
+  return n;
+}
+
+double WorkloadExecution::AvgRowsPerQuery() const {
+  uint64_t queries = TotalQueries();
+  return queries == 0 ? 0.0
+                      : static_cast<double>(TotalQueryRows()) / queries;
+}
+
+Histogram WorkloadExecution::MergedQueryLatency() const {
+  Histogram merged;
+  for (const auto& d : drivers) merged.Merge(d.query_latency_micros);
+  return merged;
+}
+
+double WorkloadExecution::MinDriverSeconds() const {
+  double best = 0;
+  bool first = true;
+  for (const auto& d : drivers) {
+    double s = d.ElapsedSeconds();
+    if (first || s < best) best = s;
+    first = false;
+  }
+  return best;
+}
+
+double WorkloadExecution::MaxDriverSeconds() const {
+  double worst = 0;
+  for (const auto& d : drivers) worst = std::max(worst, d.ElapsedSeconds());
+  return worst;
+}
+
+double WorkloadExecution::AvgDriverSeconds() const {
+  if (drivers.empty()) return 0;
+  double total = 0;
+  for (const auto& d : drivers) total += d.ElapsedSeconds();
+  return total / static_cast<double>(drivers.size());
+}
+
+BenchmarkDriver::BenchmarkDriver(const BenchmarkConfig& config,
+                                 cluster::Cluster* cluster)
+    : config_(config), cluster_(cluster) {}
+
+WorkloadExecution BenchmarkDriver::ExecuteWorkload() {
+  WorkloadExecution execution;
+  const int p = config_.num_driver_instances;
+
+  ycsb::ClusterDB db(cluster_);
+  Clock* clock = Clock::Real();
+
+  std::vector<DriverResult> results(p);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+
+  execution.metrics.ts_start_micros = clock->NowMicros();
+  for (int i = 0; i < p; ++i) {
+    DriverOptions options;
+    char key[32];
+    snprintf(key, sizeof(key), "sub%04d", i + 1);
+    options.substation_key = key;
+    options.total_kvps = Rules::KvpsForDriver(i + 1, p, config_.total_kvps);
+    options.batch_size = config_.batch_size;
+    options.seed = config_.seed + static_cast<uint64_t>(i) * 7919;
+    threads.emplace_back([&results, i, options, &db]() {
+      DriverInstance driver(options, &db);
+      results[i] = driver.Run();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  execution.metrics.ts_end_micros = clock->NowMicros();
+
+  execution.drivers = std::move(results);
+  for (const auto& driver : execution.drivers) {
+    execution.metrics.kvps_ingested += driver.kvps_ingested;
+    if (!driver.status.ok() && execution.status.ok()) {
+      execution.status = driver.status;
+    }
+  }
+  return execution;
+}
+
+BenchmarkResult BenchmarkDriver::Run() {
+  BenchmarkResult result;
+
+  // --- Prerequisite checks (abort on failure) ---
+  if (!config_.kit_files.empty()) {
+    storage::Env* env = config_.kit_env != nullptr ? config_.kit_env
+                                                   : storage::Env::Posix();
+    result.file_check = FileCheck(env, config_.kit_files);
+  } else {
+    result.file_check = {true, "file check", "no kit files registered"};
+  }
+  if (!result.file_check.passed) {
+    result.status = Status::FailedCheck(result.file_check.detail);
+    result.invalid_reason = "file check failed";
+    return result;
+  }
+
+  result.replication_check = ReplicationCheck(cluster_);
+  if (!result.replication_check.passed) {
+    result.status = Status::FailedCheck(result.replication_check.detail);
+    result.invalid_reason = "replication check failed";
+    return result;
+  }
+  // The probe rows must not count towards the benchmark data.
+  Status purge = cluster_->PurgeAll();
+  if (!purge.ok()) {
+    result.status = purge;
+    return result;
+  }
+
+  // --- Two benchmark iterations ---
+  for (int iteration = 0; iteration < 2; ++iteration) {
+    IterationResult& iter = result.iterations[iteration];
+
+    if (!config_.skip_warmup) {
+      IOTDB_LOG(Info) << "iteration " << (iteration + 1) << ": warmup run";
+      iter.warmup = ExecuteWorkload();
+      if (!iter.warmup.status.ok()) {
+        result.status = iter.warmup.status;
+        result.invalid_reason = "warmup execution failed";
+        return result;
+      }
+    }
+
+    IOTDB_LOG(Info) << "iteration " << (iteration + 1) << ": measured run";
+    iter.measured = ExecuteWorkload();
+    if (!iter.measured.status.ok()) {
+      result.status = iter.measured.status;
+      result.invalid_reason = "measured execution failed";
+      return result;
+    }
+
+    DataCheckInput check;
+    check.expected_kvps = config_.total_kvps;
+    check.ingested_kvps = iter.measured.metrics.kvps_ingested;
+    check.elapsed_seconds = iter.measured.metrics.ElapsedSeconds();
+    check.substations = config_.num_driver_instances;
+    check.avg_rows_per_query = iter.measured.AvgRowsPerQuery();
+    check.min_run_seconds = config_.min_run_seconds;
+    check.min_per_sensor_rate = config_.min_per_sensor_rate;
+    check.min_rows_per_query = config_.min_rows_per_query;
+    check.enforce_query_rows = config_.enforce_query_rows;
+    iter.data_check = DataCheck(check);
+
+    // System cleanup between iterations (and after the second, the SUT is
+    // left purged for reporting reproducibility).
+    Status cleanup = cluster_->PurgeAll();
+    if (!cleanup.ok()) {
+      result.status = cleanup;
+      result.invalid_reason = "system cleanup failed";
+      return result;
+    }
+  }
+
+  result.performance_run =
+      PerformanceRunIndex(result.iterations[0].measured.metrics,
+                          result.iterations[1].measured.metrics);
+  result.valid = result.iterations[0].data_check.passed &&
+                 result.iterations[1].data_check.passed;
+  if (!result.valid) {
+    result.invalid_reason =
+        !result.iterations[0].data_check.passed
+            ? result.iterations[0].data_check.detail
+            : result.iterations[1].data_check.detail;
+  } else if (config_.repeatability_tolerance > 0 &&
+             result.RepeatabilityDelta() >
+                 config_.repeatability_tolerance) {
+    result.valid = false;
+    char buf[128];
+    snprintf(buf, sizeof(buf),
+             "measured runs differ by %.1f%% (tolerance %.1f%%)",
+             100.0 * result.RepeatabilityDelta(),
+             100.0 * config_.repeatability_tolerance);
+    result.invalid_reason = buf;
+  }
+  return result;
+}
+
+double BenchmarkResult::RepeatabilityDelta() const {
+  double first = iterations[0].measured.metrics.IoTps();
+  double second = iterations[1].measured.metrics.IoTps();
+  double larger = std::max(first, second);
+  if (larger <= 0) return 0;
+  return (larger - std::min(first, second)) / larger;
+}
+
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,63 @@
+#ifndef IOTDB_IOT_CHECKS_H_
+#define IOTDB_IOT_CHECKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "storage/env.h"
+
+namespace iotdb {
+namespace iot {
+
+/// Outcome of a benchmark check. A failed prerequisite check aborts the
+/// run (paper Figure 6).
+struct CheckResult {
+  bool passed = false;
+  std::string name;
+  std::string detail;
+};
+
+/// A kit file with its reference checksum.
+struct KitFile {
+  std::string path;
+  std::string expected_md5_hex;
+};
+
+/// Prerequisite "file check": recomputes md5sums of all non-changeable kit
+/// files and compares with the reference checksums shipped in the kit.
+CheckResult FileCheck(storage::Env* env, const std::vector<KitFile>& files);
+
+/// Computes the md5 hex digest of a file (helper for building manifests).
+Result<std::string> Md5OfFile(storage::Env* env, const std::string& path);
+
+/// Prerequisite "data replication check": verifies the SUT is configured
+/// for three-way replication and probes that writes actually land on the
+/// expected number of distinct nodes.
+CheckResult ReplicationCheck(cluster::Cluster* cluster, int probes = 16);
+
+/// Post-run "data check" inputs: what the run was asked to do and what it
+/// measured.
+struct DataCheckInput {
+  uint64_t expected_kvps = 0;
+  uint64_t ingested_kvps = 0;
+  double elapsed_seconds = 0;
+  int substations = 0;
+  double avg_rows_per_query = 0;
+  /// Scaled-down runs may relax the 1800 s floor; paper-faithful runs use
+  /// Rules::kMinRunSeconds.
+  double min_run_seconds = 1800.0;
+  double min_per_sensor_rate = 20.0;
+  double min_rows_per_query = 200.0;
+  bool enforce_query_rows = true;
+};
+
+/// Post-run data check: completeness plus the §III-B runtime requirements
+/// (elapsed time floor, per-sensor ingest-rate floor, per-query row floor).
+CheckResult DataCheck(const DataCheckInput& input);
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_CHECKS_H_

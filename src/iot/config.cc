@@ -1,0 +1,80 @@
+#include "iot/config.h"
+
+#include <set>
+
+namespace iotdb {
+namespace iot {
+
+Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
+  static const std::set<std::string> kKnownKeys = {
+      "driver_instances",     "total_kvps",         "batch_size",
+      "seed",                 "min_run_seconds",    "min_per_sensor_rate",
+      "min_rows_per_query",   "enforce_query_rows", "skip_warmup",
+      "repeatability_tolerance"};
+  for (const auto& [key, value] : props.map()) {
+    if (kKnownKeys.count(key) == 0) {
+      return Status::InvalidArgument("unknown benchmark property: " + key);
+    }
+  }
+
+  BenchmarkConfig config;
+  IOTDB_ASSIGN_OR_RETURN(int64_t instances,
+                         props.GetInt("driver_instances", 1));
+  IOTDB_ASSIGN_OR_RETURN(
+      int64_t total_kvps,
+      props.GetInt("total_kvps",
+                   static_cast<int64_t>(Rules::kDefaultTotalKvps)));
+  IOTDB_ASSIGN_OR_RETURN(int64_t batch_size, props.GetInt("batch_size", 200));
+  IOTDB_ASSIGN_OR_RETURN(int64_t seed, props.GetInt("seed", 42));
+  IOTDB_ASSIGN_OR_RETURN(
+      config.min_run_seconds,
+      props.GetDouble("min_run_seconds", Rules::kMinRunSeconds));
+  IOTDB_ASSIGN_OR_RETURN(
+      config.min_per_sensor_rate,
+      props.GetDouble("min_per_sensor_rate", Rules::kMinPerSensorRate));
+  IOTDB_ASSIGN_OR_RETURN(
+      config.min_rows_per_query,
+      props.GetDouble("min_rows_per_query", Rules::kMinKvpsPerQuery));
+  IOTDB_ASSIGN_OR_RETURN(config.enforce_query_rows,
+                         props.GetBool("enforce_query_rows", false));
+  IOTDB_ASSIGN_OR_RETURN(config.skip_warmup,
+                         props.GetBool("skip_warmup", false));
+  IOTDB_ASSIGN_OR_RETURN(config.repeatability_tolerance,
+                         props.GetDouble("repeatability_tolerance", 0));
+
+  if (instances < 1) {
+    return Status::InvalidArgument("driver_instances must be >= 1");
+  }
+  if (total_kvps < instances) {
+    return Status::InvalidArgument("total_kvps must cover every driver");
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  config.num_driver_instances = static_cast<int>(instances);
+  config.total_kvps = static_cast<uint64_t>(total_kvps);
+  config.batch_size = static_cast<size_t>(batch_size);
+  config.seed = static_cast<uint64_t>(seed);
+  return config;
+}
+
+Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
+  Properties props;
+  props.Set("driver_instances",
+            std::to_string(config.num_driver_instances));
+  props.Set("total_kvps", std::to_string(config.total_kvps));
+  props.Set("batch_size", std::to_string(config.batch_size));
+  props.Set("seed", std::to_string(config.seed));
+  props.Set("min_run_seconds", std::to_string(config.min_run_seconds));
+  props.Set("min_per_sensor_rate",
+            std::to_string(config.min_per_sensor_rate));
+  props.Set("min_rows_per_query",
+            std::to_string(config.min_rows_per_query));
+  props.Set("enforce_query_rows",
+            config.enforce_query_rows ? "true" : "false");
+  props.Set("skip_warmup", config.skip_warmup ? "true" : "false");
+  return props;
+}
+
+}  // namespace iot
+}  // namespace iotdb

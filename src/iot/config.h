@@ -1,0 +1,35 @@
+#ifndef IOTDB_IOT_CONFIG_H_
+#define IOTDB_IOT_CONFIG_H_
+
+#include "common/properties.h"
+#include "common/result.h"
+#include "iot/benchmark_driver.h"
+
+namespace iotdb {
+namespace iot {
+
+/// Builds a BenchmarkConfig from kit-style properties. Recognised keys
+/// (defaults in parentheses):
+///
+///   driver_instances      (1)      number of simulated power substations
+///   total_kvps            (1e9)    kvps per workload execution
+///   batch_size            (200)    client write buffer in kvps
+///   seed                  (42)
+///   min_run_seconds       (1800)
+///   min_per_sensor_rate   (20)
+///   min_rows_per_query    (200)
+///   enforce_query_rows    (false)
+///   skip_warmup           (false)
+///
+/// Unknown keys are rejected so typos in sponsor configs surface instead
+/// of silently using defaults (the FDR must disclose every tunable).
+Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props);
+
+/// Serialises a config back to kit properties (for the FDR and the file
+/// check manifest).
+Properties BenchmarkConfigToProperties(const BenchmarkConfig& config);
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_CONFIG_H_

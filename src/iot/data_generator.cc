@@ -1,0 +1,47 @@
+#include "iot/data_generator.h"
+
+#include <cassert>
+
+namespace iotdb {
+namespace iot {
+
+DataGenerator::DataGenerator(std::string substation_key,
+                             uint64_t total_readings, uint64_t seed,
+                             Clock* clock, const SensorCatalog* catalog)
+    : substation_key_(std::move(substation_key)),
+      total_readings_(total_readings),
+      rng_(seed ^ 0x51ed2701abcdef12ull),
+      clock_(clock != nullptr ? clock : Clock::Real()),
+      catalog_(catalog) {
+  assert(substation_key_.find(KvpCodec::kKeySeparator) == std::string::npos);
+}
+
+Reading DataGenerator::NextReading() {
+  assert(HasNext());
+  const SensorType& sensor = catalog_->sensor(sensor_index_);
+
+  uint64_t now = clock_->NowMicros();
+  if (now <= last_timestamp_) now = last_timestamp_ + 1;
+  last_timestamp_ = now;
+
+  Reading reading;
+  reading.substation_key = substation_key_;
+  reading.sensor_key = sensor.key;
+  reading.timestamp_micros = now;
+  reading.unit = sensor.unit;
+  reading.value = sensor.min_value +
+                  rng_.NextDouble() * (sensor.max_value - sensor.min_value);
+
+  ++generated_;
+  ++sensor_index_;
+  if (sensor_index_ == catalog_->size()) sensor_index_ = 0;
+  return reading;
+}
+
+Kvp DataGenerator::Next() {
+  Reading reading = NextReading();
+  return KvpCodec::Encode(reading, rng_.Next());
+}
+
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,75 @@
+#include "iot/driver_host_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "iot/data_generator.h"
+
+namespace iotdb {
+namespace iot {
+
+GenerationPoint ModelGenerationPoint(const DriverHostProfile& profile,
+                                     int drivers) {
+  GenerationPoint point;
+  point.drivers = drivers;
+
+  double demand = profile.demand_per_driver * drivers;
+  double rho = demand / profile.hardware_threads;
+  double contention =
+      profile.contention_coefficient *
+      std::pow(rho, profile.contention_exponent);
+  double effective_threads = demand / (1.0 + contention);
+  // Generation cannot exceed the machine.
+  effective_threads =
+      std::min(effective_threads,
+               static_cast<double>(profile.hardware_threads));
+  point.kvps_per_sec = effective_threads * profile.per_thread_rate;
+
+  double busy_threads =
+      effective_threads * (1.0 + profile.contention_cpu_fraction *
+                                     contention);
+  double overhead_threads = busy_threads - effective_threads;
+  busy_threads =
+      std::min(busy_threads, static_cast<double>(profile.hardware_threads));
+  point.cpu_percent = 100.0 * busy_threads / profile.hardware_threads;
+  point.sys_percent =
+      100.0 * std::min(overhead_threads,
+                       static_cast<double>(profile.hardware_threads)) /
+      profile.hardware_threads *
+      0.15;  // kernel share of overhead (paper: sys 5% at 32 -> 15% at 64)
+  return point;
+}
+
+std::vector<GenerationPoint> ModelGenerationSweep(
+    const DriverHostProfile& profile) {
+  std::vector<GenerationPoint> points;
+  for (int drivers : {1, 2, 4, 8, 16, 32, 48, 64}) {
+    points.push_back(ModelGenerationPoint(profile, drivers));
+  }
+  return points;
+}
+
+double MeasureGenerationRate(uint64_t budget_ms) {
+  Clock* clock = Clock::Real();
+  DataGenerator generator("benchsub", ~0ull >> 1, 12345, clock);
+  uint64_t start = clock->NowMicros();
+  uint64_t deadline = start + budget_ms * 1000;
+  uint64_t generated = 0;
+  size_t sink = 0;
+  while (clock->NowMicros() < deadline) {
+    for (int i = 0; i < 1000; ++i) {
+      Kvp kvp = generator.Next();
+      sink += kvp.key.size() + kvp.value.size();  // consume, discard
+      ++generated;
+    }
+  }
+  uint64_t elapsed = clock->NowMicros() - start;
+  // Keep `sink` observable so the loop is not optimised away.
+  if (sink == 0) return 0;
+  return elapsed == 0 ? 0
+                      : static_cast<double>(generated) * 1e6 / elapsed;
+}
+
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,88 @@
+#include "iot/driver_instance.h"
+
+#include <utility>
+#include <vector>
+
+namespace iotdb {
+namespace iot {
+
+DriverInstance::DriverInstance(const DriverOptions& options, ycsb::DB* db)
+    : options_(options), db_(db) {
+  if (options_.clock == nullptr) options_.clock = Clock::Real();
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+DriverResult DriverInstance::Run(std::atomic<bool>* abort,
+                                 ycsb::Measurements* measurements) {
+  DriverResult result;
+  result.substation_key = options_.substation_key;
+
+  Clock* clock = options_.clock;
+  DataGenerator generator(options_.substation_key, options_.total_kvps,
+                          options_.seed, clock);
+  QueryGenerator query_generator(options_.substation_key, options_.seed,
+                                 clock);
+  QueryExecutor executor(db_);
+
+  result.start_micros = clock->NowMicros();
+  uint64_t next_query_marker = Rules::kReadingsPerQueryBatch;
+
+  std::vector<std::pair<std::string, std::string>> batch;
+  batch.reserve(options_.batch_size);
+
+  while (generator.HasNext()) {
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) {
+      result.status = Status::Aborted("driver aborted");
+      break;
+    }
+
+    batch.clear();
+    while (generator.HasNext() && batch.size() < options_.batch_size) {
+      Kvp kvp = generator.Next();
+      batch.emplace_back(std::move(kvp.key), std::move(kvp.value));
+    }
+
+    uint64_t t0 = clock->NowMicros();
+    Status s = db_->InsertBatch(batch);
+    uint64_t insert_elapsed = clock->NowMicros() - t0;
+    if (!s.ok()) {
+      result.status = s;
+      break;
+    }
+    result.insert_batch_latency_micros.Add(insert_elapsed);
+    if (measurements != nullptr) {
+      measurements->Record("INSERT_BATCH", insert_elapsed);
+    }
+    result.kvps_ingested += batch.size();
+
+    // Five queries for every 10,000 ingested readings, issued concurrently
+    // with continued ingestion by the other drivers.
+    while (result.kvps_ingested >= next_query_marker) {
+      for (uint64_t q = 0; q < Rules::kQueriesPerReadings; ++q) {
+        Query query = query_generator.Next();
+        uint64_t q0 = clock->NowMicros();
+        auto query_result = executor.Execute(query);
+        uint64_t query_elapsed = clock->NowMicros() - q0;
+        if (!query_result.ok()) {
+          result.status = query_result.status();
+          break;
+        }
+        result.queries_executed++;
+        result.query_rows_read += query_result.ValueOrDie().rows_read;
+        result.query_latency_micros.Add(query_elapsed);
+        if (measurements != nullptr) {
+          measurements->Record("QUERY", query_elapsed);
+        }
+      }
+      if (!result.status.ok()) break;
+      next_query_marker += Rules::kReadingsPerQueryBatch;
+    }
+    if (!result.status.ok()) break;
+  }
+
+  result.end_micros = clock->NowMicros();
+  return result;
+}
+
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,71 @@
+#ifndef IOTDB_IOT_KVP_H_
+#define IOTDB_IOT_KVP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "iot/sensor.h"
+
+namespace iotdb {
+namespace iot {
+
+/// One sensor reading as a key-value pair (paper Figure 7):
+///
+///   key   = <substation key> '.' <sensor key> '.' <timestamp>
+///   value = <sensor value> '|' <sensor unit> '|' <padding>
+///
+/// The timestamp is microsecond POSIX time rendered as a fixed-width,
+/// zero-padded decimal so that lexicographic key order equals
+/// (substation, sensor, time) order — the property the gateway's range
+/// scans rely on. key+value always total exactly kKvpBytes (1 KiB).
+struct Kvp {
+  std::string key;
+  std::string value;
+};
+
+/// Decoded form of a kvp.
+struct Reading {
+  std::string substation_key;
+  std::string sensor_key;
+  uint64_t timestamp_micros = 0;
+  double value = 0;
+  std::string unit;
+};
+
+class KvpCodec {
+ public:
+  /// Total encoded size (key plus value) of every kvp.
+  static constexpr size_t kKvpBytes = 1024;
+  /// Fixed digits of the timestamp field (covers dates beyond year 5000).
+  static constexpr int kTimestampDigits = 17;
+  static constexpr char kKeySeparator = '.';
+  static constexpr char kValueSeparator = '|';
+
+  /// Encodes a reading. `padding_seed` varies the random padding text.
+  static Kvp Encode(const Reading& reading, uint64_t padding_seed);
+
+  /// Builds only the row key (used for scan bounds).
+  static std::string EncodeKey(const Slice& substation_key,
+                               const Slice& sensor_key,
+                               uint64_t timestamp_micros);
+
+  /// The shard key prefix of a row key: substation + sensor. All readings
+  /// of one sensor share it, so time-range scans stay within one shard.
+  static Slice ShardPrefixOf(const Slice& row_key);
+
+  /// Parses a full kvp (key and value).
+  static Result<Reading> Decode(const Slice& key, const Slice& value);
+
+  /// Parses just the sensor value from an encoded value field.
+  static Result<double> DecodeSensorValue(const Slice& value);
+
+  /// Parses just the timestamp from a row key.
+  static Result<uint64_t> DecodeTimestamp(const Slice& row_key);
+};
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_KVP_H_

@@ -1,0 +1,29 @@
+#include "iot/metrics.h"
+
+#include <cstdio>
+
+namespace iotdb {
+namespace iot {
+
+int PerformanceRunIndex(const RunMetrics& run1, const RunMetrics& run2) {
+  // The spec picks run m with N_m < N_n; with equal kvp counts that reduces
+  // to the slower (lower-IoTps) run.
+  if (run1.kvps_ingested != run2.kvps_ingested) {
+    return run1.kvps_ingested < run2.kvps_ingested ? 0 : 1;
+  }
+  return run1.IoTps() <= run2.IoTps() ? 0 : 1;
+}
+
+double PricePerformance(double total_cost_usd, const RunMetrics& run) {
+  double iotps = run.IoTps();
+  return iotps <= 0 ? 0.0 : total_cost_usd / iotps;
+}
+
+std::string FormatIoTps(double iotps) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.2f IoTps", iotps);
+  return buf;
+}
+
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,42 @@
+#ifndef IOTDB_IOT_METRICS_H_
+#define IOTDB_IOT_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace iotdb {
+namespace iot {
+
+/// Timing facts of one measured workload execution.
+struct RunMetrics {
+  uint64_t kvps_ingested = 0;   // N_i of the paper
+  uint64_t ts_start_micros = 0;  // TS_start,i
+  uint64_t ts_end_micros = 0;    // TS_end,i
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ts_end_micros - ts_start_micros) / 1e6;
+  }
+
+  /// Equation 4: the effective ingestion rate of this run.
+  double IoTps() const {
+    double elapsed = ElapsedSeconds();
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(kvps_ingested) / elapsed;
+  }
+};
+
+/// Selects the performance run between the two measured runs: the one
+/// reporting the lower IoTps (the conservative choice the spec's
+/// tie-breaking reduces to when both runs ingest the same kvp count).
+int PerformanceRunIndex(const RunMetrics& run1, const RunMetrics& run2);
+
+/// Equation 5: price-performance in $ per IoTps.
+double PricePerformance(double total_cost_usd, const RunMetrics& run);
+
+/// Formats an IoTps value the way results are published.
+std::string FormatIoTps(double iotps);
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_METRICS_H_

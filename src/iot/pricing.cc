@@ -1,0 +1,102 @@
+#include "iot/pricing.h"
+
+#include <algorithm>
+
+namespace iotdb {
+namespace iot {
+
+const char* PriceCategoryName(PriceCategory category) {
+  switch (category) {
+    case PriceCategory::kHardware:
+      return "Hardware";
+    case PriceCategory::kSoftware:
+      return "Software";
+    case PriceCategory::kMaintenance:
+      return "Maintenance (3yr)";
+    case PriceCategory::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+double PricedConfiguration::TotalCost() const {
+  double total = 0;
+  for (const LineItem& item : items_) total += item.ExtendedPrice();
+  return total;
+}
+
+double PricedConfiguration::CostInCategory(PriceCategory category) const {
+  double total = 0;
+  for (const LineItem& item : items_) {
+    if (item.category == category) total += item.ExtendedPrice();
+  }
+  return total;
+}
+
+std::string PricedConfiguration::SystemAvailabilityDate() const {
+  std::string latest;
+  for (const LineItem& item : items_) {
+    latest = std::max(latest, item.availability_date);
+  }
+  return latest;
+}
+
+bool PricedConfiguration::Validate(std::string* problem) const {
+  if (items_.empty()) {
+    *problem = "priced configuration is empty";
+    return false;
+  }
+  bool has_maintenance = false;
+  for (const LineItem& item : items_) {
+    if (item.quantity <= 0) {
+      *problem = item.description + ": non-positive quantity";
+      return false;
+    }
+    if (item.unit_price_usd < 0) {
+      *problem = item.description + ": negative price";
+      return false;
+    }
+    if (item.discount_fraction < 0 || item.discount_fraction >= 1) {
+      *problem = item.description + ": discount out of range";
+      return false;
+    }
+    if (item.availability_date.empty()) {
+      *problem = item.description + ": missing availability date";
+      return false;
+    }
+    if (item.category == PriceCategory::kMaintenance) has_maintenance = true;
+  }
+  if (!has_maintenance) {
+    *problem = "three-year maintenance is required but absent";
+    return false;
+  }
+  return true;
+}
+
+PricedConfiguration PricedConfiguration::ReferenceGatewayConfig(int nodes) {
+  PricedConfiguration config;
+  config.Add({"Blade server, 2x 14-core Xeon, 256GB RAM",
+              "UCSB-B200-M4-REF", PriceCategory::kHardware, 28500.0, nodes,
+              0.25, "2017-05-01"});
+  config.Add({"Enterprise SATA SSD 3.8TB", "SSD-38T-REF",
+              PriceCategory::kHardware, 3200.0, 2 * nodes, 0.25,
+              "2017-05-01"});
+  config.Add({"Fabric interconnect, 10GbE", "FI-6324-REF",
+              PriceCategory::kHardware, 12400.0, 2, 0.25, "2017-05-01"});
+  config.Add({"Blade chassis", "CHASSIS-REF", PriceCategory::kHardware,
+              8900.0, (nodes + 7) / 8, 0.25, "2017-05-01"});
+  config.Add({"Linux OS subscription (per node, 3yr)", "OS-SUB-REF",
+              PriceCategory::kSoftware, 1500.0, nodes, 0.0, "2017-05-01"});
+  config.Add({"NoSQL data management software (open source)", "KV-OSS-REF",
+              PriceCategory::kSoftware, 0.0, nodes, 0.0, "2017-05-01"});
+  config.Add({"24x7 hardware support, 3 years (per node)", "SUP-HW-REF",
+              PriceCategory::kMaintenance, 2900.0, nodes, 0.0,
+              "2017-05-01"});
+  config.Add({"Software support, 3 years (per node)", "SUP-SW-REF",
+              PriceCategory::kMaintenance, 1100.0, nodes, 0.0,
+              "2017-05-01"});
+  return config;
+}
+
+}  // namespace iot
+}  // namespace iotdb

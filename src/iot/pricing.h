@@ -1,0 +1,69 @@
+#ifndef IOTDB_IOT_PRICING_H_
+#define IOTDB_IOT_PRICING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotdb {
+namespace iot {
+
+/// Category of a priced line item (TPC pricing specification).
+enum class PriceCategory {
+  kHardware,
+  kSoftware,
+  kMaintenance,  // three-year maintenance, required
+  kOther,
+};
+
+const char* PriceCategoryName(PriceCategory category);
+
+/// One line item of the priced configuration.
+struct LineItem {
+  std::string description;
+  std::string part_number;
+  PriceCategory category = PriceCategory::kHardware;
+  double unit_price_usd = 0;
+  int quantity = 1;
+  double discount_fraction = 0;  // committed discount, 0..1
+  /// Availability date as YYYY-MM-DD; the system availability metric is the
+  /// max across items.
+  std::string availability_date;
+
+  double ExtendedPrice() const {
+    return unit_price_usd * quantity * (1.0 - discount_fraction);
+  }
+};
+
+/// The priced configuration of a TPCx-IoT result: everything in the SUT
+/// plus three-year maintenance; end-user devices and FDR-production tools
+/// are excluded by rule.
+class PricedConfiguration {
+ public:
+  void Add(LineItem item) { items_.push_back(std::move(item)); }
+
+  const std::vector<LineItem>& items() const { return items_; }
+
+  double TotalCost() const;
+  double CostInCategory(PriceCategory category) const;
+
+  /// Latest availability date across all line items ("" when empty).
+  std::string SystemAvailabilityDate() const;
+
+  /// Validates TPC pricing rules: non-empty, positive prices, maintenance
+  /// present, availability dates set.
+  bool Validate(std::string* problem) const;
+
+  /// A representative configuration modeled on the paper's SUT: `nodes`
+  /// Cisco-UCS-class blade servers, two fabric interconnects, SSDs, the
+  /// (free) open-source software stack, and three-year support.
+  static PricedConfiguration ReferenceGatewayConfig(int nodes);
+
+ private:
+  std::vector<LineItem> items_;
+};
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_PRICING_H_

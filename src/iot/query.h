@@ -1,0 +1,100 @@
+#ifndef IOTDB_IOT_QUERY_H_
+#define IOTDB_IOT_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "iot/kvp.h"
+#include "iot/rules.h"
+#include "iot/sensor.h"
+#include "ycsb/db.h"
+
+namespace iotdb {
+namespace iot {
+
+/// The four dashboard query templates of TPCx-IoT (§III-D). Each compares an
+/// aggregate over the last 5 seconds of one sensor's readings against the
+/// same aggregate over a randomly-chosen 5-second interval from the previous
+/// 1800 seconds.
+enum class QueryType {
+  kMaxReading = 0,
+  kMinReading = 1,
+  kAvgReading = 2,
+  kReadingCount = 3,
+};
+
+const char* QueryTypeName(QueryType type);
+
+/// A fully-instantiated query: sensor plus the two time windows.
+struct Query {
+  QueryType type = QueryType::kMaxReading;
+  std::string substation_key;
+  std::string sensor_key;
+  // Recent window [recent_start, recent_end).
+  uint64_t recent_start_micros = 0;
+  uint64_t recent_end_micros = 0;
+  // Random historic window [past_start, past_end).
+  uint64_t past_start_micros = 0;
+  uint64_t past_end_micros = 0;
+};
+
+/// Aggregates of one window.
+struct WindowAggregate {
+  uint64_t count = 0;
+  double max = 0;
+  double min = 0;
+  double sum = 0;
+  double Avg() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Result of executing a query: aggregates of both windows plus the
+/// compared values (dashboard output).
+struct QueryResult {
+  Query query;
+  WindowAggregate recent;
+  WindowAggregate past;
+  /// Total kvps read across both windows (the Figure 12 metric).
+  uint64_t rows_read = 0;
+  /// The aggregate values being compared.
+  double recent_value = 0;
+  double past_value = 0;
+};
+
+/// Instantiates random queries for one substation, cycling uniformly over
+/// sensor and template. Deterministic given the seed and clock.
+class QueryGenerator {
+ public:
+  QueryGenerator(std::string substation_key, uint64_t seed, Clock* clock,
+                 const SensorCatalog* catalog = &SensorCatalog::Default());
+
+  Query Next();
+
+ private:
+  std::string substation_key_;
+  Random rng_;
+  Clock* clock_;
+  const SensorCatalog* catalog_;
+};
+
+/// Executes queries against a DB binding: two range scans (selection +
+/// projection) followed by the aggregation.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(ycsb::DB* db) : db_(db) {}
+
+  Result<QueryResult> Execute(const Query& query);
+
+ private:
+  Status ScanWindow(const Query& query, uint64_t start_micros,
+                    uint64_t end_micros, WindowAggregate* agg);
+
+  ycsb::DB* db_;
+};
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_QUERY_H_

@@ -1,0 +1,138 @@
+#include "iot/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace iotdb {
+namespace iot {
+
+namespace {
+
+void AppendLine(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+  out->push_back('\n');
+}
+
+void AppendCheck(std::string* out, const CheckResult& check) {
+  AppendLine(out, "  [%s] %s: %s", check.passed ? "PASS" : "FAIL",
+             check.name.c_str(), check.detail.c_str());
+}
+
+}  // namespace
+
+std::string ExecutiveSummary(const BenchmarkResult& result,
+                             const PricedConfiguration& pricing,
+                             const SutDescription& sut) {
+  std::string out;
+  AppendLine(&out, "==================================================");
+  AppendLine(&out, " TPCx-IoT Executive Summary");
+  AppendLine(&out, "==================================================");
+  AppendLine(&out, "Sponsor:            %s", sut.sponsor.c_str());
+  AppendLine(&out, "System:             %s (%d nodes)",
+             sut.system_name.c_str(), sut.nodes);
+  double iotps = result.IoTps();
+  double cost = pricing.TotalCost();
+  AppendLine(&out, "Performance:        %.2f IoTps", iotps);
+  AppendLine(&out, "Price-Performance:  %.4f $/IoTps",
+             iotps > 0 ? cost / iotps : 0.0);
+  AppendLine(&out, "Total system cost:  $%.2f", cost);
+  AppendLine(&out, "Availability date:  %s",
+             pricing.SystemAvailabilityDate().c_str());
+  AppendLine(&out, "Result validity:    %s",
+             result.valid ? "VALID" : ("INVALID: " +
+                                       result.invalid_reason).c_str());
+  return out;
+}
+
+std::string FullDisclosureReport(const BenchmarkResult& result,
+                                 const PricedConfiguration& pricing,
+                                 const SutDescription& sut) {
+  std::string out = ExecutiveSummary(result, pricing, sut);
+
+  out.push_back('\n');
+  AppendLine(&out, "--- Measured configuration ---");
+  AppendLine(&out, "  Nodes:    %d", sut.nodes);
+  AppendLine(&out, "  CPU:      %s", sut.cpu_description.c_str());
+  AppendLine(&out, "  Memory:   %s", sut.memory_description.c_str());
+  AppendLine(&out, "  Storage:  %s", sut.storage_description.c_str());
+  AppendLine(&out, "  Network:  %s", sut.network_description.c_str());
+  AppendLine(&out, "  Software: %s", sut.software_description.c_str());
+  if (!sut.tunables.empty()) {
+    AppendLine(&out, "  Tunables changed from defaults:");
+    AppendLine(&out, "    %s", sut.tunables.c_str());
+  }
+
+  out.push_back('\n');
+  AppendLine(&out, "--- Prerequisite checks ---");
+  AppendCheck(&out, result.file_check);
+  AppendCheck(&out, result.replication_check);
+
+  for (int i = 0; i < 2; ++i) {
+    const IterationResult& iter = result.iterations[i];
+    out.push_back('\n');
+    AppendLine(&out, "--- Iteration %d ---", i + 1);
+    AppendLine(&out, "  Warmup:   %llu kvps in %.1f s",
+               static_cast<unsigned long long>(
+                   iter.warmup.metrics.kvps_ingested),
+               iter.warmup.metrics.ElapsedSeconds());
+    AppendLine(&out, "  Measured: %llu kvps in %.1f s -> %.2f IoTps",
+               static_cast<unsigned long long>(
+                   iter.measured.metrics.kvps_ingested),
+               iter.measured.metrics.ElapsedSeconds(),
+               iter.measured.metrics.IoTps());
+    Histogram queries = iter.measured.MergedQueryLatency();
+    if (queries.count() > 0) {
+      AppendLine(&out,
+                 "  Queries:  %llu executed, avg %.1f ms, p95 %.1f ms, "
+                 "max %.1f ms, avg rows %.1f",
+                 static_cast<unsigned long long>(queries.count()),
+                 queries.Mean() / 1000.0, queries.Percentile(95) / 1000.0,
+                 static_cast<double>(queries.max()) / 1000.0,
+                 iter.measured.AvgRowsPerQuery());
+    }
+    AppendCheck(&out, iter.data_check);
+  }
+
+  out.push_back('\n');
+  AppendLine(&out, "--- Performance run: iteration %d (repeatability "
+             "delta %.2f%%) ---",
+             result.performance_run + 1,
+             100.0 * result.RepeatabilityDelta());
+
+  out.push_back('\n');
+  AppendLine(&out, "--- Priced configuration ---");
+  for (const LineItem& item : pricing.items()) {
+    AppendLine(&out, "  %-48s %-18s qty %3d  $%12.2f  (%s, avail %s)",
+               item.description.c_str(), item.part_number.c_str(),
+               item.quantity, item.ExtendedPrice(),
+               PriceCategoryName(item.category),
+               item.availability_date.c_str());
+  }
+  AppendLine(&out, "  %-70s $%12.2f", "TOTAL", pricing.TotalCost());
+  return out;
+}
+
+Status WriteReportFiles(storage::Env* env, const std::string& dir,
+                        const BenchmarkResult& result,
+                        const PricedConfiguration& pricing,
+                        const SutDescription& sut) {
+  IOTDB_RETURN_NOT_OK(env->CreateDir(dir));
+  IOTDB_RETURN_NOT_OK(
+      env->WriteStringToFile(dir + "/executive_summary.txt",
+                             ExecutiveSummary(result, pricing, sut)));
+  return env->WriteStringToFile(
+      dir + "/full_disclosure_report.txt",
+      FullDisclosureReport(result, pricing, sut));
+}
+
+}  // namespace iot
+}  // namespace iotdb

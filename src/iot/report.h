@@ -1,0 +1,50 @@
+#ifndef IOTDB_IOT_REPORT_H_
+#define IOTDB_IOT_REPORT_H_
+
+#include <string>
+
+#include "iot/benchmark_driver.h"
+#include "iot/pricing.h"
+#include "storage/env.h"
+
+namespace iotdb {
+namespace iot {
+
+/// Descriptive facts about the SUT that the FDR must disclose.
+struct SutDescription {
+  std::string sponsor = "tpcx-iot-cpp reproduction";
+  std::string system_name = "in-process gateway cluster";
+  int nodes = 0;
+  std::string cpu_description = "simulated 2x Intel Xeon E5-2680 v4";
+  std::string memory_description = "256 GB per node";
+  std::string storage_description = "2x 3.8 TB SATA SSD per node";
+  std::string network_description = "2x 10 GbE fabric interconnect";
+  std::string software_description =
+      "iotdb LSM key-value store, 3-way replication";
+  std::string tunables;  // changed-from-default parameters
+};
+
+/// Renders the executive summary: the three primary metrics plus the
+/// price-configuration totals.
+std::string ExecutiveSummary(const BenchmarkResult& result,
+                             const PricedConfiguration& pricing,
+                             const SutDescription& sut);
+
+/// Renders the full disclosure report: configuration diagrams (textual),
+/// tunables, per-iteration timings, check outcomes, and the priced
+/// configuration line items.
+std::string FullDisclosureReport(const BenchmarkResult& result,
+                                 const PricedConfiguration& pricing,
+                                 const SutDescription& sut);
+
+/// Writes `dir`/executive_summary.txt and `dir`/full_disclosure_report.txt
+/// — the artefacts a result publication ships.
+Status WriteReportFiles(storage::Env* env, const std::string& dir,
+                        const BenchmarkResult& result,
+                        const PricedConfiguration& pricing,
+                        const SutDescription& sut);
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_REPORT_H_

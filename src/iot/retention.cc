@@ -1,0 +1,23 @@
+#include "iot/retention.h"
+
+#include "iot/kvp.h"
+
+namespace iotdb {
+namespace iot {
+
+SensorDataRetentionFilter::SensorDataRetentionFilter(
+    uint64_t retention_micros, Clock* clock)
+    : retention_micros_(retention_micros),
+      clock_(clock != nullptr ? clock : Clock::Real()) {}
+
+bool SensorDataRetentionFilter::ShouldDrop(const Slice& user_key,
+                                           const Slice& /*value*/) const {
+  auto timestamp = KvpCodec::DecodeTimestamp(user_key);
+  if (!timestamp.ok()) return false;  // not a sensor row: keep
+  uint64_t now = clock_->NowMicros();
+  if (now <= retention_micros_) return false;
+  return timestamp.ValueOrDie() < now - retention_micros_;
+}
+
+}  // namespace iot
+}  // namespace iotdb

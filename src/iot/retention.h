@@ -1,0 +1,38 @@
+#ifndef IOTDB_IOT_RETENTION_H_
+#define IOTDB_IOT_RETENTION_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "storage/compaction_filter.h"
+
+namespace iotdb {
+namespace iot {
+
+/// Ages sensor readings out of the gateway store: a kvp whose row-key
+/// timestamp is older than `retention` is dropped at compaction time.
+/// This implements the gateway's "short-term persistent storage" role
+/// (paper §I): once the back-end has pulled the data (e.g., daily), the
+/// gateway does not need it, and a benchmark-length retention keeps the
+/// 1800-second query history (§III-D) intact with slack.
+///
+/// Non-sensor rows (keys without a parsable timestamp) are always kept.
+class SensorDataRetentionFilter final : public storage::CompactionFilter {
+ public:
+  /// clock supplies "now"; pass ManualClock in tests.
+  SensorDataRetentionFilter(uint64_t retention_micros, Clock* clock);
+
+  bool ShouldDrop(const Slice& user_key, const Slice& value) const override;
+  const char* Name() const override { return "iot.SensorDataRetention"; }
+
+  uint64_t retention_micros() const { return retention_micros_; }
+
+ private:
+  uint64_t retention_micros_;
+  Clock* clock_;
+};
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_RETENTION_H_

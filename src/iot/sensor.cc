@@ -1,0 +1,79 @@
+#include "iot/sensor.h"
+
+#include <cstdio>
+
+namespace iotdb {
+namespace iot {
+
+namespace {
+
+struct SensorFamily {
+  const char* prefix;
+  const char* name;
+  const char* unit;
+  double min_value;
+  double max_value;
+  int count;  // instances of this family per substation
+};
+
+// 200 sensors per substation, drawn from the families the paper names in
+// §III-A (Figure 3) plus standard substation instrumentation. Counts sum to
+// 200.
+const SensorFamily kFamilies[] = {
+    {"ltc_gas", "Load tap changer gassing sensor", "ppm", 0.0, 2000.0, 24},
+    {"mis_h2", "MIS sensor, H2 concentration", "ppm", 0.0, 5000.0, 16},
+    {"mis_c2h2", "MIS sensor, C2H2 concentration", "ppm", 0.0, 1000.0, 16},
+    {"pmu_phasor", "Phasor measurement unit, synchrophasor angle",
+     "degrees", -180.0, 180.0, 24},
+    {"pmu_freq", "Phasor measurement unit, line frequency", "hertz", 59.90,
+     60.10, 12},
+    {"leakage", "Leakage current sensor", "milliamperes", 0.0, 500.0, 20},
+    {"xfmr_temp", "Transformer winding temperature", "degrees_celsius",
+     -40.0, 180.0, 16},
+    {"oil_level", "Transformer oil level", "percent", 0.0, 100.0, 8},
+    {"oil_moisture", "Transformer oil moisture", "ppm", 0.0, 100.0, 8},
+    {"bushing_pf", "Bushing power factor monitor", "percent", 0.0, 5.0, 8},
+    {"breaker_sf6", "Circuit breaker SF6 density", "kilopascal", 300.0,
+     800.0, 12},
+    {"busbar_v", "Busbar voltage", "kilovolt", 0.0, 500.0, 12},
+    {"feeder_i", "Feeder current", "ampere", 0.0, 3000.0, 12},
+    {"ambient_temp", "Ambient temperature", "degrees_celsius", -40.0, 55.0,
+     4},
+    {"humidity", "Ambient relative humidity", "percent_rh", 0.0, 100.0, 4},
+    {"vibration", "Transformer tank vibration", "millimeters_per_second",
+     0.0, 50.0, 4},
+};
+
+}  // namespace
+
+SensorCatalog::SensorCatalog() {
+  sensors_.reserve(kSensorsPerSubstation);
+  for (const SensorFamily& family : kFamilies) {
+    for (int i = 0; i < family.count; ++i) {
+      SensorType sensor;
+      char key[80];
+      snprintf(key, sizeof(key), "%s_%03d", family.prefix, i);
+      sensor.key = key;
+      sensor.name = family.name;
+      sensor.unit = family.unit;
+      sensor.min_value = family.min_value;
+      sensor.max_value = family.max_value;
+      sensors_.push_back(std::move(sensor));
+    }
+  }
+}
+
+int SensorCatalog::IndexOf(const std::string& key) const {
+  for (size_t i = 0; i < sensors_.size(); ++i) {
+    if (sensors_[i].key == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const SensorCatalog& SensorCatalog::Default() {
+  static const SensorCatalog* catalog = new SensorCatalog();
+  return *catalog;
+}
+
+}  // namespace iot
+}  // namespace iotdb

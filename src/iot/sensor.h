@@ -1,0 +1,53 @@
+#ifndef IOTDB_IOT_SENSOR_H_
+#define IOTDB_IOT_SENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotdb {
+namespace iot {
+
+/// One sensor type deployed in a power substation (paper §III-A): load tap
+/// changer gassing sensors, MIS gas sensors, phasor measurement units,
+/// leakage current sensors, and the like.
+struct SensorType {
+  /// Unique key within a substation, 1-64 chars (Figure 7).
+  std::string key;
+  /// Human-readable description.
+  std::string name;
+  /// Measurement unit string, 4-34 chars (Figure 7).
+  std::string unit;
+  /// Value range for synthetic readings.
+  double min_value;
+  double max_value;
+};
+
+/// The fixed catalog of sensors per power substation. TPCx-IoT models every
+/// substation with exactly 200 sensors.
+class SensorCatalog {
+ public:
+  /// Builds the default 200-sensor catalog.
+  SensorCatalog();
+
+  size_t size() const { return sensors_.size(); }
+  const SensorType& sensor(size_t i) const { return sensors_[i]; }
+  const std::vector<SensorType>& sensors() const { return sensors_; }
+
+  /// Index of a sensor key, or -1 when unknown.
+  int IndexOf(const std::string& key) const;
+
+  /// Process-wide default catalog (immutable).
+  static const SensorCatalog& Default();
+
+  /// The benchmark constant: sensors per power substation.
+  static constexpr int kSensorsPerSubstation = 200;
+
+ private:
+  std::vector<SensorType> sensors_;
+};
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_SENSOR_H_

@@ -1,0 +1,106 @@
+#include "sim/resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace iotdb {
+namespace sim {
+
+Resource::Resource(Simulator* sim, int capacity, std::string name)
+    : sim_(sim), capacity_(capacity > 0 ? capacity : 1),
+      name_(std::move(name)) {}
+
+void Resource::Process(Time service_time,
+                       std::function<void(Time)> done) {
+  queue_.push_back(Job{service_time, sim_->Now(), std::move(done)});
+  StartIfPossible();
+}
+
+void Resource::StartIfPossible() {
+  while (in_service_ < capacity_ - stolen_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(job));
+  }
+}
+
+void Resource::StartJob(Job job) {
+  in_service_++;
+  Time queue_delay = sim_->Now() - job.enqueued_at;
+  Time service = job.service_time;
+  busy_micros_ += service;
+  auto done = std::move(job.done);
+  sim_->Schedule(service, [this, queue_delay, done = std::move(done)]() {
+    in_service_--;
+    jobs_completed_++;
+    if (done) done(queue_delay);
+    StartIfPossible();
+  });
+}
+
+double Resource::Utilization() const {
+  Time now = sim_->Now();
+  if (now == 0) return 0.0;
+  return static_cast<double>(busy_micros_) /
+         (static_cast<double>(now) * capacity_);
+}
+
+void Resource::StealServers(int n, Time duration) {
+  if (n <= 0) return;
+  if (n > capacity_ - stolen_) n = capacity_ - stolen_;
+  if (n <= 0) return;
+  stolen_ += n;
+  sim_->Schedule(duration, [this, n]() {
+    stolen_ -= n;
+    StartIfPossible();
+  });
+}
+
+BatchServer::BatchServer(Simulator* sim, Time gather_window, Time fixed_cost,
+                         double per_item_cost_micros)
+    : sim_(sim),
+      gather_window_(gather_window),
+      fixed_cost_(fixed_cost),
+      per_item_cost_(per_item_cost_micros) {}
+
+void BatchServer::Submit(uint64_t items, std::function<void()> done) {
+  pending_.push_back(Pending{items, std::move(done)});
+  StartGatherOrCommit();
+}
+
+void BatchServer::StartGatherOrCommit() {
+  if (committing_ || gathering_ || pending_.empty()) return;
+  gathering_ = true;
+  sim_->Schedule(gather_window_, [this]() {
+    gathering_ = false;
+    Commit();
+  });
+}
+
+void BatchServer::Commit() {
+  if (committing_ || pending_.empty()) return;
+  committing_ = true;
+
+  // Take everything queued so far as one batch.
+  std::deque<Pending> batch;
+  batch.swap(pending_);
+  uint64_t items = 0;
+  for (const Pending& p : batch) items += p.items;
+
+  Time cost = fixed_cost_ +
+              static_cast<Time>(per_item_cost_ * static_cast<double>(items));
+  sim_->Schedule(cost, [this, batch = std::move(batch), items]() mutable {
+    commits_++;
+    items_committed_ += items;
+    committing_ = false;
+    for (Pending& p : batch) {
+      if (p.done) p.done();
+    }
+    // Requests that arrived during the commit form the next batch
+    // immediately (no extra gather delay: the sync path is hot).
+    if (!pending_.empty()) Commit();
+  });
+}
+
+}  // namespace sim
+}  // namespace iotdb

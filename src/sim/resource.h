@@ -1,0 +1,115 @@
+#ifndef IOTDB_SIM_RESOURCE_H_
+#define IOTDB_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace iotdb {
+namespace sim {
+
+/// A multi-server FIFO queueing station: up to `capacity` jobs in service
+/// concurrently; excess jobs wait in arrival order. Models node handler
+/// pools. Tracks busy time for utilisation reporting.
+class Resource {
+ public:
+  Resource(Simulator* sim, int capacity, std::string name = "");
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Submits a job needing `service_time` of one server. done(queue_delay)
+  /// fires when service completes; queue_delay is the time spent waiting
+  /// before service began.
+  void Process(Time service_time, std::function<void(Time queue_delay)> done);
+
+  int capacity() const { return capacity_; }
+  int in_service() const { return in_service_; }
+  size_t queue_length() const { return queue_.size(); }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+  /// Busy server-microseconds accumulated so far.
+  uint64_t busy_micros() const { return busy_micros_; }
+
+  /// Mean utilisation in [0,1] over [0, sim->Now()].
+  double Utilization() const;
+
+  /// Temporarily removes `n` servers from service (models a flush stall
+  /// consuming handler threads); they return after `duration`.
+  void StealServers(int n, Time duration);
+
+ private:
+  struct Job {
+    Time service_time;
+    Time enqueued_at;
+    std::function<void(Time)> done;
+  };
+
+  void StartIfPossible();
+  void StartJob(Job job);
+
+  Simulator* sim_;
+  int capacity_;
+  int stolen_ = 0;
+  int in_service_ = 0;
+  std::deque<Job> queue_;
+  uint64_t busy_micros_ = 0;
+  uint64_t jobs_completed_ = 0;
+  std::string name_;
+};
+
+/// A group-commit batch server (models the WAL sync path of a gateway
+/// node). Requests arriving while a commit is in flight merge into the next
+/// batch; an idle server waits `gather_window` before committing, letting
+/// concurrent clients share the fixed commit cost. This is the mechanism
+/// behind the paper's super-linear throughput scaling at low substation
+/// counts (Figure 10).
+class BatchServer {
+ public:
+  /// commit cost = fixed_cost + items * per_item_cost.
+  BatchServer(Simulator* sim, Time gather_window, Time fixed_cost,
+              double per_item_cost_micros);
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Submits `items` units; done() fires when the batch containing them
+  /// commits.
+  void Submit(uint64_t items, std::function<void()> done);
+
+  uint64_t commits() const { return commits_; }
+  uint64_t items_committed() const { return items_committed_; }
+  /// Mean items per commit so far (amortisation factor).
+  double MeanBatchItems() const {
+    return commits_ == 0 ? 0.0
+                         : static_cast<double>(items_committed_) /
+                               static_cast<double>(commits_);
+  }
+
+ private:
+  struct Pending {
+    uint64_t items;
+    std::function<void()> done;
+  };
+
+  void StartGatherOrCommit();
+  void Commit();
+
+  Simulator* sim_;
+  Time gather_window_;
+  Time fixed_cost_;
+  double per_item_cost_;
+  std::deque<Pending> pending_;
+  bool committing_ = false;
+  bool gathering_ = false;
+  uint64_t commits_ = 0;
+  uint64_t items_committed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace iotdb
+
+#endif  // IOTDB_SIM_RESOURCE_H_

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace iotdb {
+namespace sim {
+
+void Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    events_processed_++;
+    event.fn();
+  }
+}
+
+bool Simulator::RunUntil(Time until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > until) {
+      now_ = until;
+      return true;
+    }
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    events_processed_++;
+    event.fn();
+  }
+  if (now_ < until) now_ = until;
+  return false;
+}
+
+}  // namespace sim
+}  // namespace iotdb

@@ -1,0 +1,56 @@
+#ifndef IOTDB_STORAGE_BLOCK_BUILDER_H_
+#define IOTDB_STORAGE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace iotdb {
+namespace storage {
+
+class Comparator;
+
+/// Builds an SSTable block with shared-prefix key compression and restart
+/// points (LevelDB block format):
+///
+///   entry := varint(shared) varint(non_shared) varint(value_len)
+///            key_delta value
+///   block := entries... restarts[fixed32...] num_restarts[fixed32]
+class BlockBuilder {
+ public:
+  BlockBuilder(int block_restart_interval, const Comparator* comparator);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  /// Keys must be added in strictly increasing comparator order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart array and returns the complete block contents. The
+  /// returned Slice remains valid until Reset().
+  Slice Finish();
+
+  /// Current uncompressed size estimate (entries + restart array).
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int block_restart_interval_;
+  const Comparator* comparator_;
+
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;     // entries since the last restart point
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_BLOCK_BUILDER_H_

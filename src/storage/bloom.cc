@@ -1,0 +1,94 @@
+#include "storage/bloom.h"
+
+namespace iotdb {
+namespace storage {
+
+uint32_t BloomHash(const Slice& key) {
+  // Murmur-inspired hash (LevelDB's Hash with fixed seed).
+  const uint32_t seed = 0xbc9f1d34;
+  const uint32_t m = 0xc6a4a793;
+  const char* data = key.data();
+  size_t n = key.size();
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w;
+    memcpy(&w, data, 4);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = bits_per_key * ln(2), clamped.
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    const uint32_t delta = (h >> 17) | (h << 15);  // rotate right 17 bits
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+      result[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  result.push_back(static_cast<char>(k_));
+  return result;
+}
+
+bool BloomFilterMayMatch(const Slice& filter, const Slice& key) {
+  const size_t len = filter.size();
+  if (len < 2) return true;
+
+  const char* array = filter.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = static_cast<uint8_t>(array[len - 1]);
+  if (k > 30) {
+    // Reserved for future encodings; treat as a match.
+    return true;
+  }
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,65 @@
+#ifndef IOTDB_STORAGE_CACHE_H_
+#define IOTDB_STORAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace iotdb {
+namespace storage {
+
+/// Sharded LRU cache mapping string keys to shared_ptr<void> values with an
+/// accounted charge, used as the SSTable block cache. Thread-safe.
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes, int shard_bits = 4);
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts (replacing any prior entry) with the given charge.
+  void Insert(const std::string& key, std::shared_ptr<void> value,
+              size_t charge);
+
+  /// Returns the cached value or nullptr, promoting the entry on hit.
+  std::shared_ptr<void> Lookup(const std::string& key);
+
+  void Erase(const std::string& key);
+
+  size_t TotalCharge() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<void> value;
+    size_t charge;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t charge = 0;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    void EvictIfNeeded();
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_CACHE_H_

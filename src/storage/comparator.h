@@ -1,0 +1,38 @@
+#ifndef IOTDB_STORAGE_COMPARATOR_H_
+#define IOTDB_STORAGE_COMPARATOR_H_
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Key ordering abstraction. The engine ships with a bytewise comparator;
+/// row keys produced by the TPCx-IoT codec are designed so bytewise order
+/// equals (substation, sensor, timestamp) order.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// <0, 0, >0 as a is <, ==, > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  virtual const char* Name() const = 0;
+
+  /// If *start < limit, may shorten *start to a string in [*start, limit).
+  /// Used to shrink index-block keys.
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  /// May shorten *key to a string >= *key. Used for the last index entry.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// Singleton lexicographic byte-order comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_COMPARATOR_H_

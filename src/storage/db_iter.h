@@ -1,0 +1,22 @@
+#ifndef IOTDB_STORAGE_DB_ITER_H_
+#define IOTDB_STORAGE_DB_ITER_H_
+
+#include <memory>
+
+#include "storage/dbformat.h"
+#include "storage/iterator.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Wraps an internal-key merging iterator into a user-key iterator at a
+/// snapshot: hides sequence numbers, collapses multiple versions to the
+/// newest visible one, and skips deletion tombstones.
+std::unique_ptr<Iterator> NewDBIterator(
+    const InternalKeyComparator* icmp,
+    std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence);
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_DB_ITER_H_

@@ -1,0 +1,86 @@
+#ifndef IOTDB_STORAGE_ENV_H_
+#define IOTDB_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Append-only file handle used for WAL and SSTable writing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  /// Durable sync (fsync). The WAL group-commit path batches callers so
+  /// Sync() is amortised over many writers.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positional-read file handle used for SSTable reading. Thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to n bytes at offset into scratch; *result points either into
+  /// scratch or into an internal buffer that lives as long as the file.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Forward-only reader used for WAL recovery.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Filesystem abstraction in the LevelDB/RocksDB style. Two implementations:
+/// Env::Posix() (real files) and NewMemEnv() (in-process filesystem used by
+/// tests, examples, and the in-process cluster so nodes do not contend on
+/// the host disk).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status CreateDir(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Reads a whole file into *contents.
+  Status ReadFileToString(const std::string& path, std::string* contents);
+  /// Writes contents to path atomically enough for our purposes.
+  Status WriteStringToFile(const std::string& path, const Slice& contents);
+
+  /// Process-wide POSIX filesystem Env.
+  static Env* Posix();
+};
+
+/// Creates a fresh, empty in-memory filesystem. Paths are flat strings;
+/// directories are implicit. Thread-safe.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_ENV_H_

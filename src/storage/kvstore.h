@@ -1,0 +1,199 @@
+#ifndef IOTDB_STORAGE_KVSTORE_H_
+#define IOTDB_STORAGE_KVSTORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/cache.h"
+#include "storage/db_iter.h"
+#include "storage/dbformat.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+#include "storage/log_writer.h"
+#include "storage/memtable.h"
+#include "storage/options.h"
+#include "storage/version.h"
+#include "storage/write_batch.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Counters exposed by KVStore::GetStats.
+struct KVStoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t scans = 0;
+  uint64_t memtable_flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t write_stall_micros = 0;
+  uint64_t bytes_flushed = 0;
+  uint64_t bytes_compacted = 0;
+  int num_files[kNumLevels] = {};
+  uint64_t level_bytes[kNumLevels] = {};
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+};
+
+/// A single-node LSM key-value store (the HBase region-server storage
+/// analogue): WAL + memtable + leveled SSTables. Thread-safe: any number of
+/// concurrent readers and writers.
+///
+/// Typical use:
+///   auto store = KVStore::Open(options, "/data/gw").MoveValueUnsafe();
+///   store->Put(WriteOptions(), key, value);
+///   auto val = store->Get(ReadOptions(), key);
+///   store->Scan(ReadOptions(), start, end, 0, &rows);
+class KVStore {
+ public:
+  /// Opens (creating if needed) the store in directory `name`, replaying any
+  /// WAL left by a previous incarnation.
+  static Result<std::unique_ptr<KVStore>> Open(const Options& options,
+                                               const std::string& name);
+
+  /// Deletes all files of the store at `name` (TPCx-IoT system cleanup).
+  static Status Destroy(const Options& options, const std::string& name);
+
+  ~KVStore();
+
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
+  Status Delete(const WriteOptions& options, const Slice& key);
+
+  /// Applies a batch atomically. Concurrent callers are group-committed:
+  /// one leader writes a combined WAL record for all queued batches.
+  Status Write(const WriteOptions& options, WriteBatch* batch);
+
+  /// Point lookup. NotFound status when absent.
+  Result<std::string> Get(const ReadOptions& options, const Slice& key);
+
+  /// Ordered iterator over live user keys at the current snapshot. The
+  /// returned iterator pins the memtables/tables it reads.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
+
+  /// Range scan convenience: fills `out` with key/value pairs where
+  /// start <= key < end_exclusive (empty end = unbounded), at most `limit`
+  /// pairs when limit > 0.
+  Status Scan(const ReadOptions& options, const Slice& start,
+              const Slice& end_exclusive, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Snapshots: reads at a released sequence see a frozen view.
+  SequenceNumber GetSnapshot();
+  void ReleaseSnapshot(SequenceNumber snapshot);
+
+  /// Forces a memtable flush and waits for it to complete.
+  Status FlushMemTable();
+
+  /// Compacts everything down to the last populated level and waits.
+  Status CompactAll();
+
+  /// Blocks until no background work is queued or running.
+  void WaitForBackgroundWork();
+
+  KVStoreStats GetStats();
+
+  /// Total live user entries are not tracked exactly (tombstones); this is
+  /// the count of non-deleted keys seen by a full scan. Expensive.
+  uint64_t CountKeysSlow();
+
+  const std::string& name() const { return dbname_; }
+
+ private:
+  KVStore(const Options& options, const std::string& name);
+
+  struct WriterState;
+
+  std::string LogFileName(uint64_t number) const;
+  std::string TableFileName(uint64_t number) const;
+  std::string ManifestFileName() const;
+
+  Status Recover();
+  Status ReplayLogFile(uint64_t number);
+  Status OpenTable(uint64_t number, std::shared_ptr<FileMeta>* meta);
+
+  // Write path helpers (mu_ held).
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
+  WriteBatch* BuildBatchGroup(WriterState** last_writer);
+  Status SwitchMemTable();
+
+  // Background work.
+  void MaybeScheduleBackgroundWork();
+  void BackgroundCall();
+  Status CompactMemTable(std::unique_lock<std::mutex>* lock);
+  bool NeedsCompaction() const;
+  Status RunCompaction(std::unique_lock<std::mutex>* lock);
+  Status RunCompactionAtLevel(int level, std::unique_lock<std::mutex>* lock);
+  bool IsBaseLevelForKey(int output_level, const Slice& user_key) const;
+
+  Status WriteManifest();  // mu_ held
+  Status LoadManifest(bool* found);
+  void RemoveObsoleteFiles();  // mu_ held
+
+  SequenceNumber SmallestSnapshot() const;  // mu_ held
+
+  std::vector<std::shared_ptr<FileMeta>> FilesOverlappingRange(
+      int level, const Slice& begin_user_key,
+      const Slice& end_user_key) const;  // mu_ held
+
+  // Builds an internal-key iterator over the whole store; out_pinned gets
+  // shared_ptrs that must outlive the iterator.
+  std::unique_ptr<Iterator> NewInternalIterator(
+      const ReadOptions& options,
+      std::vector<std::shared_ptr<Table>>* pinned_tables,
+      std::vector<MemTable*>* pinned_mems);
+
+  Options options_;
+  Env* env_;
+  std::string dbname_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<LruCache> block_cache_;
+
+  std::mutex mu_;
+  std::condition_variable background_work_finished_cv_;
+
+  MemTable* mem_ = nullptr;  // guarded by mu_ for pointer swap
+  MemTable* imm_ = nullptr;  // immutable memtable being flushed
+
+  std::unique_ptr<WritableFile> log_file_;
+  std::unique_ptr<log::Writer> log_;
+  uint64_t log_number_ = 0;
+
+  LevelState levels_;
+
+  uint64_t next_file_number_ = 1;
+  SequenceNumber last_sequence_ = 0;
+
+  std::deque<WriterState*> writers_;
+  WriteBatch tmp_batch_;
+
+  std::multiset<SequenceNumber> snapshots_;
+
+  std::unique_ptr<ThreadPool> background_pool_;
+  bool background_scheduled_ = false;
+  bool shutting_down_ = false;
+  // True while a group-commit leader performs WAL/memtable work outside the
+  // lock; memtable switches by other threads must wait on it.
+  bool leader_active_ = false;
+  Status background_error_;
+
+  KVStoreStats stats_;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_KVSTORE_H_

@@ -1,0 +1,31 @@
+#ifndef IOTDB_STORAGE_LOG_FORMAT_H_
+#define IOTDB_STORAGE_LOG_FORMAT_H_
+
+namespace iotdb {
+namespace storage {
+namespace log {
+
+/// WAL record framing (LevelDB format): the file is a sequence of 32 KiB
+/// blocks; each record fragment is
+///   checksum (4) | length (2) | type (1) | payload
+/// and records that cross block boundaries are split into
+/// kFirst/kMiddle/kLast fragments.
+enum RecordType {
+  kZeroType = 0,  // reserved for preallocated files
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static constexpr int kMaxRecordType = kLastType;
+
+static constexpr int kBlockSize = 32768;
+
+// checksum (4) + length (2) + type (1)
+static constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_LOG_FORMAT_H_

@@ -1,0 +1,42 @@
+#ifndef IOTDB_STORAGE_LOG_WRITER_H_
+#define IOTDB_STORAGE_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/log_format.h"
+
+namespace iotdb {
+namespace storage {
+namespace log {
+
+/// Appends length-prefixed, checksummed records to a WritableFile. Not
+/// thread-safe; the KVStore's group-commit leader is the only writer.
+class Writer {
+ public:
+  /// dest must remain live while the Writer is in use. The file must be
+  /// empty (or the caller must pass its current length as dest_length).
+  explicit Writer(WritableFile* dest, uint64_t dest_length = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& record);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // current offset within the block
+
+  // Pre-computed CRCs of the record-type bytes, extended with payload CRCs.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_LOG_WRITER_H_

@@ -1,0 +1,77 @@
+#ifndef IOTDB_STORAGE_MEMTABLE_H_
+#define IOTDB_STORAGE_MEMTABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/dbformat.h"
+#include "storage/iterator.h"
+#include "storage/skiplist.h"
+
+namespace iotdb {
+namespace storage {
+
+/// In-memory write buffer (HBase memstore analogue): an arena-backed
+/// skiplist of internal keys. Reference-counted because readers may hold an
+/// immutable memtable while it is being flushed.
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Approximate memory consumed by entries + skiplist.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  uint64_t NumEntries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds an entry. Writers must be externally serialised (the KVStore's
+  /// write path does this); concurrent readers are safe.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// Point lookup at snapshot `seq`: if the memtable holds a value for key,
+  /// stores it in *value and returns true with *s OK; if it holds a
+  /// deletion, returns true with *s NotFound; otherwise returns false.
+  bool Get(const Slice& user_key, SequenceNumber seq, std::string* value,
+           Status* s);
+
+  /// Iterator over internal keys (yields internal-key encoded entries).
+  std::unique_ptr<Iterator> NewIterator();
+
+  /// Entry ordering functor over arena-encoded entries. Public because the
+  /// iterator implementation in memtable.cc names the skiplist type.
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+ private:
+  ~MemTable() = default;  // only via Unref
+
+  KeyComparator comparator_;
+  std::atomic<int> refs_;
+  std::atomic<uint64_t> num_entries_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_MEMTABLE_H_

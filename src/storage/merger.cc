@@ -1,0 +1,131 @@
+#include "storage/merger.h"
+
+#include "storage/comparator.h"
+
+namespace iotdb {
+namespace storage {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : comparator_(comparator),
+        children_(std::move(children)),
+        current_(nullptr),
+        direction_(kForward) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    // If we were moving backwards, reposition the non-current children.
+    if (direction_ != kForward) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            child->Prev();
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid() &&
+          (smallest == nullptr ||
+           comparator_->Compare(child->key(), smallest->key()) < 0)) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      Iterator* child = it->get();
+      if (child->Valid() &&
+          (largest == nullptr ||
+           comparator_->Compare(child->key(), largest->key()) > 0)) {
+        largest = child;
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return NewEmptyIterator();
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MergingIterator>(comparator, std::move(children));
+}
+
+}  // namespace storage
+}  // namespace iotdb

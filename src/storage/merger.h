@@ -1,0 +1,24 @@
+#ifndef IOTDB_STORAGE_MERGER_H_
+#define IOTDB_STORAGE_MERGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/iterator.h"
+
+namespace iotdb {
+namespace storage {
+
+class Comparator;
+
+/// Merges n child iterators into a single sorted stream (k-way merge).
+/// Children yielding equal keys are consumed in child order, which the
+/// KVStore exploits by listing newer sources first.
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_MERGER_H_

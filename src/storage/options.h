@@ -1,0 +1,86 @@
+#ifndef IOTDB_STORAGE_OPTIONS_H_
+#define IOTDB_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace iotdb {
+namespace storage {
+
+class CompactionFilter;
+class Comparator;
+class Env;
+
+/// Tuning knobs of the LSM engine. Defaults mirror the spirit of the paper's
+/// HBase tuning (large write buffer, many handlers, blocking store files).
+struct Options {
+  /// Key ordering; defaults to bytewise.
+  const Comparator* comparator = nullptr;
+
+  /// Filesystem; defaults to Env::Posix().
+  Env* env = nullptr;
+
+  /// Time source; defaults to Clock::Real().
+  Clock* clock = nullptr;
+
+  /// Memtable size that triggers a flush (HBase: hbase.hregion.memstore
+  /// flush size). Kept small by default so tests exercise flushes.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Uncompressed size target of an SSTable data block.
+  size_t block_size = 4 * 1024;
+
+  /// Number of keys between restart points in a data block.
+  int block_restart_interval = 16;
+
+  /// Bits per key of the per-table bloom filter; 0 disables the filter.
+  int bloom_bits_per_key = 10;
+
+  /// Number of L0 files that triggers a compaction (HBase:
+  /// hbase.hstore.compactionThreshold).
+  int l0_compaction_trigger = 4;
+
+  /// Number of L0 files at which writes stall until compaction catches up
+  /// (HBase: hbase.hstore.blockingStoreFiles).
+  int l0_stall_trigger = 12;
+
+  /// Group-commit gather window for the WAL, in microseconds. While one
+  /// batch is syncing, concurrent writers enqueue and commit together.
+  uint64_t wal_group_commit_window_micros = 200;
+
+  /// If false, Put/Write return once the WAL record is buffered (HBase
+  /// deferred log flush). If true, every commit syncs.
+  bool wal_sync = false;
+
+  /// Verify block checksums on every read.
+  bool verify_checksums = true;
+
+  /// Capacity of the shared block cache in bytes; 0 disables caching.
+  size_t block_cache_capacity = 8 * 1024 * 1024;
+
+  /// Background threads for flush + compaction work.
+  int background_threads = 1;
+
+  /// Optional hook dropping entries during compaction (data retention);
+  /// see compaction_filter.h. Not owned; must outlive the store.
+  const CompactionFilter* compaction_filter = nullptr;
+};
+
+/// Per-read options.
+struct ReadOptions {
+  bool verify_checksums = true;
+  bool fill_cache = true;
+};
+
+/// Per-write options.
+struct WriteOptions {
+  /// Overrides Options::wal_sync for this write when set.
+  bool sync = false;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_OPTIONS_H_

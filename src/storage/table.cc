@@ -1,0 +1,254 @@
+#include "storage/table.h"
+
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "storage/bloom.h"
+#include "storage/comparator.h"
+#include "storage/dbformat.h"
+
+namespace iotdb {
+namespace storage {
+
+Result<std::string> ReadBlockContents(const RandomAccessFile* file,
+                                      const BlockHandle& handle,
+                                      bool verify_checksums) {
+  size_t n = static_cast<size_t>(handle.size);
+  std::vector<char> scratch(n + kBlockTrailerSize);
+  Slice contents;
+  IOTDB_RETURN_NOT_OK(file->Read(handle.offset, n + kBlockTrailerSize,
+                                 &contents, scratch.data()));
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+  const char* data = contents.data();
+  if (verify_checksums) {
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+    const uint32_t actual = crc32c::Value(data, n + 1);
+    if (actual != crc) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+  if (data[n] != 0) {
+    return Status::Corruption("unsupported block compression type");
+  }
+  return std::string(data, n);
+}
+
+Table::Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
+             LruCache* cache, uint64_t cache_id)
+    : options_(options),
+      file_(std::move(file)),
+      cache_(cache),
+      cache_id_(cache_id) {}
+
+Result<std::unique_ptr<Table>> Table::Open(
+    const Options& options, std::unique_ptr<RandomAccessFile> file,
+    LruCache* cache, uint64_t cache_id) {
+  uint64_t size = file->Size();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  IOTDB_RETURN_NOT_OK(file->Read(size - Footer::kEncodedLength,
+                                 Footer::kEncodedLength, &footer_input,
+                                 footer_space));
+  Footer footer;
+  IOTDB_RETURN_NOT_OK(footer.DecodeFrom(&footer_input));
+
+  auto table = std::unique_ptr<Table>(
+      new Table(options, std::move(file), cache, cache_id));
+
+  IOTDB_ASSIGN_OR_RETURN(
+      std::string index_contents,
+      ReadBlockContents(table->file_.get(), footer.index_handle,
+                        options.verify_checksums));
+  table->index_block_ = std::make_unique<Block>(std::move(index_contents));
+
+  if (footer.filter_handle.size > 0) {
+    IOTDB_ASSIGN_OR_RETURN(
+        table->filter_data_,
+        ReadBlockContents(table->file_.get(), footer.filter_handle,
+                          options.verify_checksums));
+  }
+  return table;
+}
+
+Result<std::shared_ptr<Block>> Table::ReadBlockCached(
+    const ReadOptions& read_options, const BlockHandle& handle) const {
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key.reserve(16);
+    PutFixed64(&cache_key, cache_id_);
+    PutFixed64(&cache_key, handle.offset);
+    if (auto cached = cache_->Lookup(cache_key)) {
+      return std::static_pointer_cast<Block>(cached);
+    }
+  }
+  IOTDB_ASSIGN_OR_RETURN(
+      std::string contents,
+      ReadBlockContents(file_.get(), handle, read_options.verify_checksums));
+  auto block = std::make_shared<Block>(std::move(contents));
+  if (cache_ != nullptr && read_options.fill_cache) {
+    cache_->Insert(cache_key, block, block->size());
+  }
+  return block;
+}
+
+namespace {
+
+/// Two-level iterator: walks the index block; for each index entry opens the
+/// referenced data block and iterates it. Keeps a shared_ptr to the current
+/// block so cache eviction cannot free it underneath us.
+class TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(const Table* table, const ReadOptions& read_options)
+      : table_(table),
+        read_options_(read_options),
+        index_iter_(
+            table->index_block()->NewIterator(table->comparator())) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SetDataBlock(nullptr);
+      return;
+    }
+    Slice handle_value = index_iter_->value();
+    BlockHandle handle;
+    Slice input = handle_value;
+    Status s = handle.DecodeFrom(&input);
+    if (!s.ok()) {
+      status_ = s;
+      SetDataBlock(nullptr);
+      return;
+    }
+    auto block_result = table_->ReadBlockCached(read_options_, handle);
+    if (!block_result.ok()) {
+      status_ = block_result.status();
+      SetDataBlock(nullptr);
+      return;
+    }
+    SetDataBlock(std::move(block_result).MoveValueUnsafe());
+  }
+
+  void SetDataBlock(std::shared_ptr<Block> block) {
+    data_block_ = std::move(block);
+    data_iter_ = data_block_ == nullptr
+                     ? nullptr
+                     : data_block_->NewIterator(table_->comparator());
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataBlock(nullptr);
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        SetDataBlock(nullptr);
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  const Table* table_;
+  ReadOptions read_options_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> data_block_;
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Table::NewIterator(
+    const ReadOptions& read_options) const {
+  return std::make_unique<TwoLevelIterator>(this, read_options);
+}
+
+Status Table::InternalGet(const ReadOptions& read_options, const Slice& k,
+                          void* arg,
+                          void (*handle_result)(void*, const Slice&,
+                                                const Slice&)) const {
+  if (!filter_data_.empty() &&
+      !BloomFilterMayMatch(Slice(filter_data_), ExtractUserKey(k))) {
+    return Status::OK();  // definitely not present
+  }
+  auto index_iter = index_block_->NewIterator(options_.comparator);
+  index_iter->Seek(k);
+  if (!index_iter->Valid()) return index_iter->status();
+
+  BlockHandle handle;
+  Slice input = index_iter->value();
+  IOTDB_RETURN_NOT_OK(handle.DecodeFrom(&input));
+  IOTDB_ASSIGN_OR_RETURN(auto block, ReadBlockCached(read_options, handle));
+  auto block_iter = block->NewIterator(options_.comparator);
+  block_iter->Seek(k);
+  if (block_iter->Valid()) {
+    (*handle_result)(arg, block_iter->key(), block_iter->value());
+  }
+  return block_iter->status();
+}
+
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,78 @@
+#ifndef IOTDB_STORAGE_TABLE_H_
+#define IOTDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/cache.h"
+#include "storage/env.h"
+#include "storage/iterator.h"
+#include "storage/options.h"
+#include "storage/table_format.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Immutable, sorted SSTable reader. Thread-safe. Holds the index block and
+/// bloom filter in memory; data blocks are fetched on demand through the
+/// optional shared block cache.
+class Table {
+ public:
+  /// Opens a table over `file` (whose lifetime the Table takes over).
+  /// cache may be null; cache_id must be unique per table when caching.
+  static Result<std::unique_ptr<Table>> Open(
+      const Options& options, std::unique_ptr<RandomAccessFile> file,
+      LruCache* cache, uint64_t cache_id);
+
+  ~Table() = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Iterator over internal-key entries of the whole table.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& read_options)
+      const;
+
+  /// Point lookup plumbing: seeks the table for internal key `k` and, if an
+  /// entry >= k exists in the containing block, invokes handle_result once.
+  /// Consults the bloom filter first.
+  Status InternalGet(const ReadOptions& read_options, const Slice& k,
+                     void* arg,
+                     void (*handle_result)(void* arg, const Slice& k,
+                                           const Slice& v)) const;
+
+  uint64_t ApproximateBloomSizeBytes() const { return filter_data_.size(); }
+
+  /// Reads, checksums, and parses a block. Uses the block cache when
+  /// enabled. Public because the two-level iterator implementation uses it.
+  Result<std::shared_ptr<Block>> ReadBlockCached(
+      const ReadOptions& read_options, const BlockHandle& handle) const;
+
+  const Block* index_block() const { return index_block_.get(); }
+  const Comparator* comparator() const { return options_.comparator; }
+
+ private:
+  Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
+        LruCache* cache, uint64_t cache_id);
+
+  Options options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  LruCache* cache_;
+  uint64_t cache_id_;
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;  // empty when the table has no bloom filter
+};
+
+/// Reads and verifies one raw block (without caching). Exposed for tests.
+Result<std::string> ReadBlockContents(const RandomAccessFile* file,
+                                      const BlockHandle& handle,
+                                      bool verify_checksums);
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_TABLE_H_

@@ -1,0 +1,135 @@
+#include "storage/table_builder.h"
+
+#include <cassert>
+
+#include "common/crc32c.h"
+#include "storage/comparator.h"
+#include "storage/dbformat.h"
+
+namespace iotdb {
+namespace storage {
+
+TableBuilder::TableBuilder(const Options& options, WritableFile* file)
+    : options_(options),
+      file_(file),
+      offset_(0),
+      data_block_(options.block_restart_interval, options.comparator),
+      index_block_(1, options.comparator),
+      num_entries_(0),
+      closed_(false),
+      pending_index_entry_(false) {
+  assert(options_.comparator != nullptr);
+  if (options_.bloom_bits_per_key > 0) {
+    filter_ =
+        std::make_unique<BloomFilterBuilder>(options_.bloom_bits_per_key);
+  }
+}
+
+TableBuilder::~TableBuilder() { assert(closed_); }
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  assert(!closed_);
+  if (!status_.ok()) return;
+  if (num_entries_ > 0) {
+    assert(options_.comparator->Compare(key, Slice(last_key_)) > 0);
+  }
+
+  if (pending_index_entry_) {
+    assert(data_block_.empty());
+    options_.comparator->FindShortestSeparator(&last_key_, key);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  if (filter_ != nullptr) {
+    filter_->AddKey(ExtractUserKey(key));
+  }
+
+  last_key_.assign(key.data(), key.size());
+  num_entries_++;
+  data_block_.Add(key, value);
+
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    WriteDataBlock();
+  }
+}
+
+void TableBuilder::WriteDataBlock() {
+  assert(!closed_);
+  if (!status_.ok() || data_block_.empty()) return;
+  assert(!pending_index_entry_);
+  Slice raw = data_block_.Finish();
+  status_ = WriteRawBlock(raw, &pending_handle_);
+  if (status_.ok()) {
+    pending_index_entry_ = true;
+  }
+  data_block_.Reset();
+}
+
+Status TableBuilder::WriteRawBlock(const Slice& contents,
+                                   BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  IOTDB_RETURN_NOT_OK(file_->Append(contents));
+
+  char trailer[kBlockTrailerSize];
+  trailer[0] = 0;  // kNoCompression
+  uint32_t crc = crc32c::Value(contents.data(), contents.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  IOTDB_RETURN_NOT_OK(file_->Append(Slice(trailer, kBlockTrailerSize)));
+
+  offset_ += contents.size() + kBlockTrailerSize;
+  return Status::OK();
+}
+
+Status TableBuilder::Finish() {
+  assert(!closed_);
+  WriteDataBlock();
+  closed_ = true;
+  if (!status_.ok()) return status_;
+
+  Footer footer;
+
+  // Bloom filter block.
+  if (filter_ != nullptr) {
+    std::string filter_contents = filter_->Finish();
+    status_ = WriteRawBlock(Slice(filter_contents), &footer.filter_handle);
+    if (!status_.ok()) return status_;
+  } else {
+    footer.filter_handle = BlockHandle{0, 0};
+  }
+
+  // Final index entry for the last data block.
+  if (pending_index_entry_) {
+    options_.comparator->FindShortSuccessor(&last_key_);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  // Index block.
+  status_ = WriteRawBlock(index_block_.Finish(), &footer.index_handle);
+  if (!status_.ok()) return status_;
+
+  // Footer.
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  status_ = file_->Append(Slice(footer_encoding));
+  if (status_.ok()) {
+    offset_ += footer_encoding.size();
+    status_ = file_->Flush();
+  }
+  return status_;
+}
+
+void TableBuilder::Abandon() {
+  assert(!closed_);
+  closed_ = true;
+}
+
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,72 @@
+#ifndef IOTDB_STORAGE_TABLE_BUILDER_H_
+#define IOTDB_STORAGE_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/block_builder.h"
+#include "storage/bloom.h"
+#include "storage/env.h"
+#include "storage/options.h"
+#include "storage/table_format.h"
+
+namespace iotdb {
+namespace storage {
+
+class Comparator;
+
+/// Streams sorted key/value pairs into an SSTable file:
+///   [data blocks][bloom filter block][index block][footer]
+/// Keys are internal keys; the bloom filter covers user keys so point
+/// lookups can skip the table regardless of sequence numbers.
+class TableBuilder {
+ public:
+  /// file must remain live until Finish()/Abandon() returns.
+  TableBuilder(const Options& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  /// Adds a key (in strictly increasing internal-key order).
+  void Add(const Slice& key, const Slice& value);
+
+  /// Flushes buffered data to the file, writes filter/index/footer.
+  Status Finish();
+
+  /// Abandons the table contents (e.g., compaction error path).
+  void Abandon();
+
+  uint64_t NumEntries() const { return num_entries_; }
+  /// Size of the file generated so far (complete after Finish()).
+  uint64_t FileSize() const { return offset_; }
+  Status status() const { return status_; }
+
+ private:
+  void WriteDataBlock();
+  Status WriteRawBlock(const Slice& contents, BlockHandle* handle);
+
+  Options options_;
+  WritableFile* file_;
+  uint64_t offset_;
+  Status status_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::string last_key_;
+  uint64_t num_entries_;
+  bool closed_;
+  std::unique_ptr<BloomFilterBuilder> filter_;
+
+  // When a data block completes we defer its index entry until the next
+  // key arrives, so the separator can be shortened.
+  bool pending_index_entry_;
+  BlockHandle pending_handle_;
+};
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_TABLE_BUILDER_H_

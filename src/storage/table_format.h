@@ -1,0 +1,75 @@
+#ifndef IOTDB_STORAGE_TABLE_FORMAT_H_
+#define IOTDB_STORAGE_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace iotdb {
+namespace storage {
+
+/// Location of a block within an SSTable file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &offset) && GetVarint64(input, &size)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad block handle");
+  }
+
+  /// Max encoded length of a handle (two varint64s).
+  static constexpr size_t kMaxEncodedLength = 10 + 10;
+};
+
+/// Fixed-size table footer:
+///   filter_handle | index_handle | padding to 40 bytes | magic (8 bytes)
+struct Footer {
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+
+  static constexpr uint64_t kTableMagicNumber = 0x1077c1e4b3a5f00dull;
+  static constexpr size_t kEncodedLength =
+      2 * BlockHandle::kMaxEncodedLength + 8;
+
+  void EncodeTo(std::string* dst) const {
+    const size_t original_size = dst->size();
+    filter_handle.EncodeTo(dst);
+    index_handle.EncodeTo(dst);
+    dst->resize(original_size + 2 * BlockHandle::kMaxEncodedLength);
+    PutFixed64(dst, kTableMagicNumber);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (input->size() < kEncodedLength) {
+      return Status::Corruption("footer too short");
+    }
+    const char* magic_ptr = input->data() + kEncodedLength - 8;
+    uint64_t magic = DecodeFixed64(magic_ptr);
+    if (magic != kTableMagicNumber) {
+      return Status::Corruption("not an sstable (bad magic number)");
+    }
+    Slice handles(input->data(), kEncodedLength - 8);
+    IOTDB_RETURN_NOT_OK(filter_handle.DecodeFrom(&handles));
+    return index_handle.DecodeFrom(&handles);
+  }
+};
+
+/// Every block is followed by a 5-byte trailer: type (1; 0 = uncompressed)
+/// and CRC32C of contents+type (4).
+static constexpr size_t kBlockTrailerSize = 5;
+
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_TABLE_FORMAT_H_

@@ -1,0 +1,32 @@
+#include "storage/version.h"
+
+namespace iotdb {
+namespace storage {
+
+bool FileOverlapsRange(const InternalKeyComparator& icmp, const FileMeta& f,
+                       const Slice& begin_user_key,
+                       const Slice& end_user_key) {
+  const Comparator* ucmp = icmp.user_comparator();
+  if (!begin_user_key.empty() &&
+      ucmp->Compare(ExtractUserKey(Slice(f.largest)), begin_user_key) < 0) {
+    return false;
+  }
+  if (!end_user_key.empty() &&
+      ucmp->Compare(ExtractUserKey(Slice(f.smallest)), end_user_key) > 0) {
+    return false;
+  }
+  return true;
+}
+
+uint64_t MaxBytesForLevel(int level) {
+  // Level 1: 10 MiB, growing 10x per level. Level 0 is count-triggered.
+  double result = 10.0 * 1048576.0;
+  while (level > 1) {
+    result *= 10.0;
+    level--;
+  }
+  return static_cast<uint64_t>(result);
+}
+
+}  // namespace storage
+}  // namespace iotdb

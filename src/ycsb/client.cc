@@ -1,0 +1,72 @@
+#include "ycsb/client.h"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rate_limiter.h"
+
+namespace iotdb {
+namespace ycsb {
+
+namespace {
+
+ClientResult RunPhase(const ClientOptions& options, uint64_t total_ops,
+                      const std::function<Status()>& one_op) {
+  ClientResult result;
+  if (total_ops == 0) return result;
+
+  std::atomic<uint64_t> remaining{total_ops};
+  std::atomic<uint64_t> failures{0};
+  std::unique_ptr<RateLimiter> limiter;
+  if (options.target_ops_per_sec > 0) {
+    limiter = std::make_unique<RateLimiter>(
+        options.target_ops_per_sec,
+        options.target_ops_per_sec / 10 + 1, Clock::Real());
+  }
+
+  auto worker = [&]() {
+    for (;;) {
+      uint64_t prev = remaining.fetch_sub(1, std::memory_order_relaxed);
+      if (prev == 0 || prev > total_ops) break;  // drained (underflow guard)
+      if (limiter != nullptr) limiter->Acquire();
+      if (!one_op().ok()) failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  uint64_t start = Clock::Real()->NowMicros();
+  int num_threads = options.threads > 0 ? options.threads : 1;
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  result.elapsed_micros = Clock::Real()->NowMicros() - start;
+  result.operations = total_ops;
+  result.failures = failures.load();
+  return result;
+}
+
+}  // namespace
+
+ClientResult RunLoadPhase(const ClientOptions& options, DB* db,
+                          CoreWorkload* workload,
+                          Measurements* measurements) {
+  return RunPhase(options, workload->record_count(),
+                  [&] { return workload->DoInsert(db, measurements); });
+}
+
+ClientResult RunTransactionPhase(const ClientOptions& options, DB* db,
+                                 CoreWorkload* workload,
+                                 Measurements* measurements) {
+  return RunPhase(options, workload->operation_count(),
+                  [&] { return workload->DoTransaction(db, measurements); });
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

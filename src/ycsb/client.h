@@ -1,0 +1,47 @@
+#ifndef IOTDB_YCSB_CLIENT_H_
+#define IOTDB_YCSB_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "ycsb/core_workload.h"
+#include "ycsb/db.h"
+#include "ycsb/measurements.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// Multi-threaded workload executor (YCSB's Client). Each thread runs the
+/// shared workload against the shared DB binding; an optional target
+/// throughput throttles the aggregate operation rate.
+struct ClientOptions {
+  int threads = 1;
+  /// Target operations/second across all threads; 0 = unthrottled.
+  double target_ops_per_sec = 0;
+};
+
+struct ClientResult {
+  uint64_t operations = 0;
+  uint64_t failures = 0;
+  uint64_t elapsed_micros = 0;
+  double Throughput() const {
+    return elapsed_micros == 0
+               ? 0.0
+               : static_cast<double>(operations) * 1e6 / elapsed_micros;
+  }
+};
+
+/// Runs workload->record_count() inserts (the YCSB load phase).
+ClientResult RunLoadPhase(const ClientOptions& options, DB* db,
+                          CoreWorkload* workload, Measurements* measurements);
+
+/// Runs workload->operation_count() transactions.
+ClientResult RunTransactionPhase(const ClientOptions& options, DB* db,
+                                 CoreWorkload* workload,
+                                 Measurements* measurements);
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_CLIENT_H_

@@ -1,0 +1,161 @@
+#include "ycsb/core_workload.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace iotdb {
+namespace ycsb {
+
+std::string CoreWorkload::BuildKeyName(uint64_t key_num) {
+  // YCSB hashes ordered keys so inserts spread over the keyspace.
+  uint64_t hashed = FnvHash64(key_num);
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%020" PRIu64, hashed);
+  return std::string(buf);
+}
+
+Result<std::unique_ptr<CoreWorkload>> CoreWorkload::Create(
+    const Properties& props) {
+  auto workload = std::unique_ptr<CoreWorkload>(new CoreWorkload());
+
+  IOTDB_ASSIGN_OR_RETURN(int64_t record_count,
+                         props.GetInt("recordcount", 1000));
+  IOTDB_ASSIGN_OR_RETURN(int64_t operation_count,
+                         props.GetInt("operationcount", 1000));
+  IOTDB_ASSIGN_OR_RETURN(int64_t field_length,
+                         props.GetInt("fieldlength", 100));
+  IOTDB_ASSIGN_OR_RETURN(int64_t max_scan_length,
+                         props.GetInt("maxscanlength", 100));
+  IOTDB_ASSIGN_OR_RETURN(int64_t insert_start,
+                         props.GetInt("insertstart", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t seed, props.GetInt("seed", 7));
+  IOTDB_ASSIGN_OR_RETURN(double read_proportion,
+                         props.GetDouble("readproportion", 0.95));
+  IOTDB_ASSIGN_OR_RETURN(double update_proportion,
+                         props.GetDouble("updateproportion", 0.05));
+  IOTDB_ASSIGN_OR_RETURN(double insert_proportion,
+                         props.GetDouble("insertproportion", 0.0));
+  IOTDB_ASSIGN_OR_RETURN(double scan_proportion,
+                         props.GetDouble("scanproportion", 0.0));
+
+  if (record_count <= 0) {
+    return Status::InvalidArgument("recordcount must be positive");
+  }
+
+  workload->record_count_ = static_cast<uint64_t>(record_count);
+  workload->operation_count_ = static_cast<uint64_t>(operation_count);
+  workload->field_length_ = static_cast<size_t>(field_length);
+  workload->max_scan_length_ = static_cast<uint64_t>(max_scan_length);
+
+  workload->insert_key_sequence_ = std::make_unique<CounterGenerator>(
+      static_cast<uint64_t>(insert_start) + workload->record_count_);
+
+  std::string distribution = props.Get("requestdistribution", "zipfian");
+  if (distribution == "uniform") {
+    workload->key_chooser_ = std::make_unique<UniformGenerator>(
+        0, workload->record_count_ - 1, seed);
+  } else if (distribution == "zipfian") {
+    workload->key_chooser_ = std::make_unique<ScrambledZipfianGenerator>(
+        workload->record_count_, seed);
+  } else if (distribution == "latest") {
+    workload->key_chooser_ = std::make_unique<SkewedLatestGenerator>(
+        workload->insert_key_sequence_.get(), seed);
+  } else {
+    return Status::InvalidArgument("unknown requestdistribution: " +
+                                   distribution);
+  }
+
+  workload->scan_length_chooser_ = std::make_unique<UniformGenerator>(
+      1, workload->max_scan_length_, seed + 1);
+
+  if (read_proportion > 0) {
+    workload->op_chooser_.AddValue("READ", read_proportion);
+  }
+  if (update_proportion > 0) {
+    workload->op_chooser_.AddValue("UPDATE", update_proportion);
+  }
+  if (insert_proportion > 0) {
+    workload->op_chooser_.AddValue("INSERT", insert_proportion);
+  }
+  if (scan_proportion > 0) {
+    workload->op_chooser_.AddValue("SCAN", scan_proportion);
+  }
+  if (workload->op_chooser_.total_weight() <= 0) {
+    return Status::InvalidArgument("operation mix has zero total weight");
+  }
+  return workload;
+}
+
+std::string CoreWorkload::BuildValue() {
+  return value_rng_.RandomPrintableString(field_length_);
+}
+
+Status CoreWorkload::DoInsert(DB* db, Measurements* measurements) {
+  std::string key;
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t key_num = insert_key_sequence_->Next() - record_count_;
+    key = BuildKeyName(key_num);
+    value = BuildValue();
+  }
+  uint64_t start = Clock::Real()->NowMicros();
+  Status s = db->Insert(key, value);
+  uint64_t elapsed = Clock::Real()->NowMicros() - start;
+  if (s.ok()) {
+    measurements->Record("INSERT", elapsed);
+  } else {
+    measurements->RecordFailure("INSERT");
+  }
+  return s;
+}
+
+Status CoreWorkload::DoTransaction(DB* db, Measurements* measurements) {
+  std::string op;
+  std::string key;
+  std::string value;
+  uint64_t scan_length = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = op_chooser_.Next();
+    if (op == "INSERT") {
+      key = BuildKeyName(insert_key_sequence_->Next());
+      value = BuildValue();
+    } else {
+      uint64_t key_num;
+      do {
+        key_num = key_chooser_->Next();
+      } while (key_num > insert_key_sequence_->Last());
+      key = BuildKeyName(key_num);
+      if (op == "UPDATE") value = BuildValue();
+      if (op == "SCAN") scan_length = scan_length_chooser_->Next();
+    }
+  }
+
+  uint64_t start = Clock::Real()->NowMicros();
+  Status s;
+  if (op == "READ") {
+    auto r = db->Read(key);
+    // NotFound is a valid outcome for hashed keyspaces under "latest".
+    s = r.ok() || r.status().IsNotFound() ? Status::OK() : r.status();
+  } else if (op == "UPDATE") {
+    s = db->Update(key, value);
+  } else if (op == "INSERT") {
+    s = db->Insert(key, value);
+  } else if (op == "SCAN") {
+    std::vector<std::pair<std::string, std::string>> rows;
+    s = db->Scan(key, key, Slice(), scan_length, &rows);
+  }
+  uint64_t elapsed = Clock::Real()->NowMicros() - start;
+  if (s.ok()) {
+    measurements->Record(op, elapsed);
+  } else {
+    measurements->RecordFailure(op);
+  }
+  return s;
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

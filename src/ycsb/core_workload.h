@@ -1,0 +1,69 @@
+#ifndef IOTDB_YCSB_CORE_WORKLOAD_H_
+#define IOTDB_YCSB_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/properties.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "ycsb/db.h"
+#include "ycsb/generator.h"
+#include "ycsb/measurements.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// YCSB's CoreWorkload: a configurable read/update/insert/scan mix over a
+/// keyspace with a pluggable request distribution. Kept because TPCx-IoT is
+/// a YCSB derivative and the framework remains generally useful; the
+/// TPCx-IoT-specific workload lives in iot::DriverInstance.
+///
+/// Recognised properties (YCSB names):
+///   recordcount, operationcount, fieldlength,
+///   readproportion, updateproportion, insertproportion, scanproportion,
+///   requestdistribution = uniform | zipfian | latest,
+///   maxscanlength, insertstart, seed
+class CoreWorkload {
+ public:
+  static Result<std::unique_ptr<CoreWorkload>> Create(
+      const Properties& props);
+
+  /// One load-phase insert.
+  Status DoInsert(DB* db, Measurements* measurements);
+
+  /// One transaction-phase operation according to the mix.
+  Status DoTransaction(DB* db, Measurements* measurements);
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t operation_count() const { return operation_count_; }
+
+  /// Key encoding used by the workload ("user" + zero-padded hash).
+  static std::string BuildKeyName(uint64_t key_num);
+
+ private:
+  CoreWorkload() = default;
+
+  std::string NextSequenceKey();
+  std::string NextTransactionKey();
+  std::string BuildValue();
+
+  uint64_t record_count_ = 0;
+  uint64_t operation_count_ = 0;
+  size_t field_length_ = 100;
+  uint64_t max_scan_length_ = 100;
+
+  std::mutex mu_;
+  std::unique_ptr<CounterGenerator> insert_key_sequence_;
+  std::unique_ptr<Generator> key_chooser_;
+  std::unique_ptr<UniformGenerator> scan_length_chooser_;
+  DiscreteGenerator op_chooser_;
+  Random value_rng_{42};
+};
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_CORE_WORKLOAD_H_

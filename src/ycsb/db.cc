@@ -1,0 +1,15 @@
+#include "ycsb/db.h"
+
+namespace iotdb {
+namespace ycsb {
+
+Status DB::InsertBatch(
+    const std::vector<std::pair<std::string, std::string>>& kvps) {
+  for (const auto& [key, value] : kvps) {
+    IOTDB_RETURN_NOT_OK(Insert(key, value));
+  }
+  return Status::OK();
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

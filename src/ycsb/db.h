@@ -1,0 +1,71 @@
+#ifndef IOTDB_YCSB_DB_H_
+#define IOTDB_YCSB_DB_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// YCSB's database interface layer: the seam between workloads and systems
+/// under test. TPCx-IoT drives a gateway cluster binding; tests can drive a
+/// single KVStore or a null sink.
+class DB {
+ public:
+  virtual ~DB() = default;
+
+  virtual Status Insert(const Slice& key, const Slice& value) = 0;
+
+  /// Batch insert; default loops over Insert. Bindings with a client write
+  /// buffer override this (the HBase path TPCx-IoT exercises).
+  virtual Status InsertBatch(
+      const std::vector<std::pair<std::string, std::string>>& kvps);
+
+  virtual Result<std::string> Read(const Slice& key) = 0;
+
+  virtual Status Update(const Slice& key, const Slice& value) {
+    return Insert(key, value);
+  }
+
+  virtual Status Delete(const Slice& /*key*/) {
+    return Status::NotSupported("Delete");
+  }
+
+  /// Range scan: rows in [start, end_exclusive), at most `limit` when
+  /// limit > 0. `shard_key` routes sharded bindings; unsharded bindings may
+  /// ignore it.
+  virtual Status Scan(const Slice& shard_key, const Slice& start,
+                      const Slice& end_exclusive, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out)
+      = 0;
+};
+
+/// A binding that discards writes and returns empty reads. Reproduces the
+/// paper's Figure 8 setup of redirecting driver output to /dev/null to
+/// measure bare generation speed.
+class NullDB final : public DB {
+ public:
+  Status Insert(const Slice&, const Slice&) override { return Status::OK(); }
+  Status InsertBatch(const std::vector<std::pair<std::string, std::string>>&)
+      override {
+    return Status::OK();
+  }
+  Result<std::string> Read(const Slice&) override {
+    return Status::NotFound("null db");
+  }
+  Status Scan(const Slice&, const Slice&, const Slice&, size_t,
+              std::vector<std::pair<std::string, std::string>>*) override {
+    return Status::OK();
+  }
+};
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_DB_H_

@@ -1,0 +1,88 @@
+#include "ycsb/generator.h"
+
+namespace iotdb {
+namespace ycsb {
+
+uint64_t FnvHash64(uint64_t value) {
+  constexpr uint64_t kOffsetBasis = 0xCBF29CE484222325ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash = kOffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    uint64_t octet = value & 0xff;
+    value >>= 8;
+    hash ^= octet;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t items, double zipfian_constant,
+                                   uint64_t seed)
+    : items_(items), theta_(zipfian_constant), rng_(seed) {
+  assert(items_ > 0);
+  zeta_n_ = ZetaStatic(items_, theta_);
+  zeta2theta_ = ZetaStatic(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zeta_n_);
+}
+
+double ZipfianGenerator::ZetaStatic(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianGenerator::SetItemCount(uint64_t items) {
+  if (items == items_) return;
+  // Incremental zeta would be faster; recompute is fine at our item counts.
+  items_ = items;
+  zeta_n_ = ZetaStatic(items_, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    last_ = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    last_ = 1;
+  } else {
+    last_ = static_cast<uint64_t>(
+        static_cast<double>(items_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (last_ >= items_) last_ = items_ - 1;
+  }
+  return last_;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  uint64_t z = zipfian_.Next();
+  last_ = FnvHash64(z) % items_;
+  return last_;
+}
+
+uint64_t SkewedLatestGenerator::Next() {
+  uint64_t max = basis_->Last();
+  zipfian_.SetItemCount(max + 1);
+  uint64_t offset = zipfian_.Next();
+  last_ = max - offset;
+  return last_;
+}
+
+const std::string& DiscreteGenerator::Next() {
+  assert(!values_.empty());
+  double chooser = rng_.NextDouble() * total_weight_;
+  for (const auto& [value, weight] : values_) {
+    chooser -= weight;
+    if (chooser < 0) return value;
+  }
+  return values_.back().first;
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

@@ -1,0 +1,187 @@
+#ifndef IOTDB_YCSB_GENERATOR_H_
+#define IOTDB_YCSB_GENERATOR_H_
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// Number-stream generators in the YCSB tradition. TPCx-IoT keeps YCSB's
+/// generator layer (the kit is a YCSB derivative); the core TPCx-IoT
+/// workload uses counter/uniform streams while CoreWorkload exposes the full
+/// set for general benchmarking.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  /// Next value of the stream.
+  virtual uint64_t Next() = 0;
+  /// Most recent value returned by Next().
+  virtual uint64_t Last() = 0;
+};
+
+/// Uniformly random values in [lb, ub] inclusive.
+class UniformGenerator final : public Generator {
+ public:
+  UniformGenerator(uint64_t lb, uint64_t ub, uint64_t seed = 7)
+      : lb_(lb), ub_(ub), rng_(seed), last_(lb) {
+    assert(lb <= ub);
+  }
+
+  uint64_t Next() override { return last_ = rng_.UniformRange(lb_, ub_); }
+  uint64_t Last() override { return last_; }
+
+ private:
+  uint64_t lb_, ub_;
+  Random rng_;
+  uint64_t last_;
+};
+
+/// Monotonic counter; thread-safe (YCSB uses it for insert key order).
+class CounterGenerator final : public Generator {
+ public:
+  explicit CounterGenerator(uint64_t start) : counter_(start) {}
+
+  uint64_t Next() override {
+    return counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t Last() override {
+    return counter_.load(std::memory_order_relaxed) - 1;
+  }
+
+  void Set(uint64_t value) {
+    counter_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> counter_;
+};
+
+/// Zipfian-distributed values in [0, n): popular items are chosen far more
+/// often. Implements the Gray et al. algorithm used by YCSB, including
+/// support for growing item counts.
+class ZipfianGenerator final : public Generator {
+ public:
+  static constexpr double kZipfianConstant = 0.99;
+
+  ZipfianGenerator(uint64_t items, double zipfian_constant = kZipfianConstant,
+                   uint64_t seed = 7);
+
+  uint64_t Next() override;
+  uint64_t Last() override { return last_; }
+
+  /// Grows the item universe (used by the latest distribution).
+  void SetItemCount(uint64_t items);
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_;
+  double alpha_, zeta2theta_, eta_;
+  Random rng_;
+  uint64_t last_ = 0;
+};
+
+/// Zipfian with the popular items scattered across the keyspace via FNV
+/// hashing, so hot keys are not clustered (YCSB "scrambled zipfian").
+class ScrambledZipfianGenerator final : public Generator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t items, uint64_t seed = 7)
+      : items_(items), zipfian_(items, ZipfianGenerator::kZipfianConstant,
+                                seed) {}
+
+  uint64_t Next() override;
+  uint64_t Last() override { return last_; }
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator zipfian_;
+  uint64_t last_ = 0;
+};
+
+/// Skews towards the most recently inserted items: item = last_insert - z
+/// where z is zipfian. Used by YCSB workload D.
+class SkewedLatestGenerator final : public Generator {
+ public:
+  explicit SkewedLatestGenerator(CounterGenerator* basis, uint64_t seed = 7)
+      : basis_(basis), zipfian_(basis->Last() + 1,
+                                ZipfianGenerator::kZipfianConstant, seed) {}
+
+  uint64_t Next() override;
+  uint64_t Last() override { return last_; }
+
+ private:
+  CounterGenerator* basis_;
+  ZipfianGenerator zipfian_;
+  uint64_t last_ = 0;
+};
+
+/// A fraction of accesses go to a "hot" subset of the keyspace.
+class HotspotGenerator final : public Generator {
+ public:
+  HotspotGenerator(uint64_t lb, uint64_t ub, double hot_set_fraction,
+                   double hot_op_fraction, uint64_t seed = 7)
+      : lb_(lb),
+        hot_items_(static_cast<uint64_t>((ub - lb + 1) * hot_set_fraction)),
+        cold_items_((ub - lb + 1) - hot_items_),
+        hot_op_fraction_(hot_op_fraction),
+        rng_(seed) {
+    if (hot_items_ == 0) hot_items_ = 1;
+  }
+
+  uint64_t Next() override {
+    if (rng_.NextDouble() < hot_op_fraction_) {
+      last_ = lb_ + rng_.Uniform(hot_items_);
+    } else {
+      last_ = lb_ + hot_items_ +
+              rng_.Uniform(cold_items_ == 0 ? 1 : cold_items_);
+    }
+    return last_;
+  }
+  uint64_t Last() override { return last_; }
+
+ private:
+  uint64_t lb_;
+  uint64_t hot_items_;
+  uint64_t cold_items_;
+  double hot_op_fraction_;
+  Random rng_;
+  uint64_t last_ = 0;
+};
+
+/// Weighted choice over a small set of labels (operation mix).
+class DiscreteGenerator {
+ public:
+  explicit DiscreteGenerator(uint64_t seed = 7) : rng_(seed) {}
+
+  void AddValue(std::string value, double weight) {
+    values_.emplace_back(std::move(value), weight);
+    total_weight_ += weight;
+  }
+
+  /// Weighted-random label. Requires at least one value.
+  const std::string& Next();
+
+  double total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+  double total_weight_ = 0;
+  Random rng_;
+};
+
+/// 64-bit FNV-1a, used by the scrambled zipfian and YCSB key hashing.
+uint64_t FnvHash64(uint64_t value);
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_GENERATOR_H_

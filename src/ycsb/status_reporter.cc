@@ -1,0 +1,82 @@
+#include "ycsb/status_reporter.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace iotdb {
+namespace ycsb {
+
+StatusReporter::StatusReporter(const std::atomic<uint64_t>* counter,
+                               uint64_t interval_micros, Callback on_sample)
+    : counter_(counter),
+      interval_micros_(interval_micros > 0 ? interval_micros : 1000000),
+      on_sample_(std::move(on_sample)),
+      clock_(Clock::Real()) {
+  if (!on_sample_) {
+    on_sample_ = [](const Sample& sample) {
+      IOTDB_LOG(Info) << Format(sample);
+    };
+  }
+}
+
+StatusReporter::~StatusReporter() { Stop(); }
+
+void StatusReporter::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  start_micros_ = clock_->NowMicros();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatusReporter::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatusReporter::Loop() {
+  uint64_t last_ops = counter_->load(std::memory_order_relaxed);
+  uint64_t last_time = start_micros_;
+  while (running_.load(std::memory_order_relaxed)) {
+    // Sleep in small slices so Stop() returns promptly.
+    uint64_t slept = 0;
+    while (slept < interval_micros_ &&
+           running_.load(std::memory_order_relaxed)) {
+      uint64_t slice = std::min<uint64_t>(interval_micros_ - slept, 20000);
+      clock_->SleepMicros(slice);
+      slept += slice;
+    }
+
+    uint64_t now = clock_->NowMicros();
+    uint64_t ops = counter_->load(std::memory_order_relaxed);
+    Sample sample;
+    sample.elapsed_micros = now - start_micros_;
+    sample.total_ops = ops;
+    uint64_t interval = now - last_time;
+    sample.interval_ops_per_sec =
+        interval == 0 ? 0
+                      : static_cast<double>(ops - last_ops) * 1e6 / interval;
+    sample.cumulative_ops_per_sec =
+        sample.elapsed_micros == 0
+            ? 0
+            : static_cast<double>(ops) * 1e6 / sample.elapsed_micros;
+    on_sample_(sample);
+    last_ops = ops;
+    last_time = now;
+  }
+}
+
+std::string StatusReporter::Format(const Sample& sample) {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "%llu sec: %llu operations; current %.0f ops/sec, overall "
+           "%.0f ops/sec",
+           static_cast<unsigned long long>(sample.elapsed_micros / 1000000),
+           static_cast<unsigned long long>(sample.total_ops),
+           sample.interval_ops_per_sec, sample.cumulative_ops_per_sec);
+  return buf;
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

@@ -1,0 +1,63 @@
+#ifndef IOTDB_YCSB_STATUS_REPORTER_H_
+#define IOTDB_YCSB_STATUS_REPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// YCSB-style status thread: while running, samples an operation counter at
+/// a fixed interval and reports interval + cumulative throughput. The
+/// benchmark driver uses it for progress lines during long ingests.
+class StatusReporter {
+ public:
+  /// Reported once per interval.
+  struct Sample {
+    uint64_t elapsed_micros = 0;
+    uint64_t total_ops = 0;
+    double interval_ops_per_sec = 0;
+    double cumulative_ops_per_sec = 0;
+  };
+  using Callback = std::function<void(const Sample&)>;
+
+  /// counter: a monotonically increasing op count read on each tick.
+  /// on_sample defaults to a one-line stderr log.
+  StatusReporter(const std::atomic<uint64_t>* counter,
+                 uint64_t interval_micros, Callback on_sample = nullptr);
+  ~StatusReporter();
+
+  StatusReporter(const StatusReporter&) = delete;
+  StatusReporter& operator=(const StatusReporter&) = delete;
+
+  /// Starts the sampling thread. Idempotent.
+  void Start();
+
+  /// Stops and joins, emitting one final sample. Idempotent.
+  void Stop();
+
+  /// Renders a sample as the canonical one-line status string.
+  static std::string Format(const Sample& sample);
+
+ private:
+  void Loop();
+
+  const std::atomic<uint64_t>* counter_;
+  uint64_t interval_micros_;
+  Callback on_sample_;
+  Clock* clock_;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  uint64_t start_micros_ = 0;
+};
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_STATUS_REPORTER_H_

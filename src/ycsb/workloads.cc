@@ -1,0 +1,52 @@
+#include "ycsb/workloads.h"
+
+#include <cctype>
+
+namespace iotdb {
+namespace ycsb {
+
+Result<Properties> StandardWorkload(char name) {
+  Properties props;
+  props.Set("recordcount", "1000");
+  props.Set("operationcount", "1000");
+  props.Set("requestdistribution", "zipfian");
+  props.Set("readproportion", "0");
+  props.Set("updateproportion", "0");
+  props.Set("insertproportion", "0");
+  props.Set("scanproportion", "0");
+
+  switch (tolower(static_cast<unsigned char>(name))) {
+    case 'a':
+      props.Set("readproportion", "0.5");
+      props.Set("updateproportion", "0.5");
+      break;
+    case 'b':
+      props.Set("readproportion", "0.95");
+      props.Set("updateproportion", "0.05");
+      break;
+    case 'c':
+      props.Set("readproportion", "1.0");
+      break;
+    case 'd':
+      props.Set("readproportion", "0.95");
+      props.Set("insertproportion", "0.05");
+      props.Set("requestdistribution", "latest");
+      break;
+    case 'e':
+      props.Set("scanproportion", "0.95");
+      props.Set("insertproportion", "0.05");
+      props.Set("maxscanlength", "100");
+      break;
+    case 'f':
+      props.Set("readproportion", "0.5");
+      props.Set("updateproportion", "0.5");
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("unknown standard workload: ") + name);
+  }
+  return props;
+}
+
+}  // namespace ycsb
+}  // namespace iotdb

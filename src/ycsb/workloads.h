@@ -1,0 +1,26 @@
+#ifndef IOTDB_YCSB_WORKLOADS_H_
+#define IOTDB_YCSB_WORKLOADS_H_
+
+#include "common/properties.h"
+#include "common/result.h"
+
+namespace iotdb {
+namespace ycsb {
+
+/// The six standard YCSB core workload presets, as property sets ready for
+/// CoreWorkload::Create. Record/operation counts default to small values;
+/// override before use.
+///
+///   A: update heavy (50/50 read/update, zipfian)
+///   B: read mostly (95/5 read/update, zipfian)
+///   C: read only (100 read, zipfian)
+///   D: read latest (95/5 read/insert, latest)
+///   E: short ranges (95/5 scan/insert, zipfian)
+///   F: read-modify-write (50 read / 50 update, zipfian; the RMW pair is
+///      approximated as an update since CoreWorkload has no combined op)
+Result<Properties> StandardWorkload(char name);
+
+}  // namespace ycsb
+}  // namespace iotdb
+
+#endif  // IOTDB_YCSB_WORKLOADS_H_

@@ -1,0 +1,135 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace iotdb {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x10000u, 0xdeadbeefu, 0xffffffffu}) {
+    std::string s;
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v :
+       std::vector<uint64_t>{0, 1, 0xffffffff, 0x123456789abcdef0ull,
+                             std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t shift = 0; shift < 32; ++shift) {
+    values.push_back(1u << shift);
+    values.push_back((1u << shift) - 1);
+  }
+  values.push_back(std::numeric_limits<uint32_t>::max());
+  for (uint32_t v : values) PutVarint32(&s, v);
+
+  Slice input(s);
+  for (uint32_t expected : values) {
+    uint32_t actual;
+    ASSERT_TRUE(GetVarint32(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384};
+  for (int shift = 0; shift < 64; ++shift) {
+    values.push_back(1ull << shift);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : values) PutVarint64(&s, v);
+
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : std::vector<uint64_t>{
+           0, 127, 128, 16383, 16384, (1ull << 40),
+           std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string s;
+  PutVarint32(&s, 1u << 30);  // multi-byte encoding
+  Slice truncated(s.data(), s.size() - 1);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&truncated, &v));
+}
+
+TEST(CodingTest, MalformedOverlongVarint32Fails) {
+  // Five bytes with continuation bits forever.
+  std::string s = "\xff\xff\xff\xff\xff\xff";
+  Slice input(s);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello");
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, std::string(300, 'z'));
+
+  Slice input(s);
+  Slice value;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &value));
+  EXPECT_EQ(value.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &value));
+  EXPECT_TRUE(value.empty());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &value));
+  EXPECT_EQ(value.size(), 300u);
+}
+
+TEST(CodingTest, LengthPrefixTruncatedBodyFails) {
+  std::string s;
+  PutVarint32(&s, 10);
+  s += "abc";  // body shorter than declared
+  Slice input(s);
+  Slice value;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &value));
+}
+
+TEST(CodingTest, BigEndian64PreservesOrder) {
+  std::vector<uint64_t> values = {0, 1, 255, 256, 1ull << 32,
+                                  std::numeric_limits<uint64_t>::max()};
+  std::string prev;
+  for (uint64_t v : values) {
+    std::string encoded;
+    PutBigEndian64(&encoded, v);
+    EXPECT_EQ(DecodeBigEndian64(encoded.data()), v);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, encoded) << "lexicographic order must match numeric";
+    }
+    prev = encoded;
+  }
+}
+
+}  // namespace
+}  // namespace iotdb

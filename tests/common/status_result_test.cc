@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace iotdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IO error: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::FailedCheck("x").IsFailedCheck());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad block");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad block");
+  EXPECT_TRUE(s.IsCorruption());  // source untouched
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::Busy("later");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsBusy());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    IOTDB_RETURN_NOT_OK(Status::IOError("inner"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIOError());
+
+  auto succeeds = []() -> Status {
+    IOTDB_RETURN_NOT_OK(Status::OK());
+    return Status::Corruption("reached");
+  };
+  EXPECT_TRUE(succeeds().IsCorruption());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveValueUnsafeMovesOut) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string value = std::move(r).MoveValueUnsafe();
+  EXPECT_EQ(value.size(), 1000u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner_fail = []() -> Result<int> { return Status::IOError("io"); };
+  auto inner_ok = []() -> Result<int> { return 7; };
+
+  auto outer = [&](bool fail) -> Status {
+    if (fail) {
+      IOTDB_ASSIGN_OR_RETURN(int v, inner_fail());
+      (void)v;
+    } else {
+      IOTDB_ASSIGN_OR_RETURN(int v, inner_ok());
+      EXPECT_EQ(v, 7);
+    }
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer(true).IsIOError());
+  EXPECT_TRUE(outer(false).ok());
+}
+
+}  // namespace
+}  // namespace iotdb

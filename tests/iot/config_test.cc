@@ -1,0 +1,107 @@
+#include "iot/config.h"
+
+#include <gtest/gtest.h>
+
+#include "iot/report.h"
+#include "storage/env.h"
+
+namespace iotdb {
+namespace iot {
+namespace {
+
+TEST(BenchmarkConfigTest, DefaultsMatchTheKit) {
+  Properties empty;
+  auto config = LoadBenchmarkConfig(empty);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.ValueOrDie().num_driver_instances, 1);
+  EXPECT_EQ(config.ValueOrDie().total_kvps, Rules::kDefaultTotalKvps);
+  EXPECT_DOUBLE_EQ(config.ValueOrDie().min_run_seconds, 1800.0);
+  EXPECT_DOUBLE_EQ(config.ValueOrDie().min_per_sensor_rate, 20.0);
+}
+
+TEST(BenchmarkConfigTest, ParsesAllKeys) {
+  Properties props;
+  ASSERT_TRUE(props
+                  .ParseText("driver_instances=16\n"
+                             "total_kvps=400000000\n"
+                             "batch_size=1000\n"
+                             "seed=7\n"
+                             "min_run_seconds=90\n"
+                             "min_per_sensor_rate=1\n"
+                             "skip_warmup=true\n")
+                  .ok());
+  auto result = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BenchmarkConfig& config = result.ValueOrDie();
+  EXPECT_EQ(config.num_driver_instances, 16);
+  EXPECT_EQ(config.total_kvps, 400000000ull);
+  EXPECT_EQ(config.batch_size, 1000u);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_DOUBLE_EQ(config.min_run_seconds, 90.0);
+  EXPECT_TRUE(config.skip_warmup);
+}
+
+TEST(BenchmarkConfigTest, UnknownKeysRejected) {
+  Properties props;
+  props.Set("driver_instnaces", "4");  // typo must not silently default
+  EXPECT_TRUE(LoadBenchmarkConfig(props).status().IsInvalidArgument());
+}
+
+TEST(BenchmarkConfigTest, InvalidValuesRejected) {
+  Properties zero_instances;
+  zero_instances.Set("driver_instances", "0");
+  EXPECT_FALSE(LoadBenchmarkConfig(zero_instances).ok());
+
+  Properties too_few_kvps;
+  too_few_kvps.Set("driver_instances", "10");
+  too_few_kvps.Set("total_kvps", "5");
+  EXPECT_FALSE(LoadBenchmarkConfig(too_few_kvps).ok());
+
+  Properties bad_type;
+  bad_type.Set("total_kvps", "a billion");
+  EXPECT_FALSE(LoadBenchmarkConfig(bad_type).ok());
+}
+
+TEST(BenchmarkConfigTest, RoundTripsThroughProperties) {
+  BenchmarkConfig config;
+  config.num_driver_instances = 8;
+  config.total_kvps = 240000000;
+  config.batch_size = 777;
+  config.seed = 5;
+  config.skip_warmup = true;
+  Properties props = BenchmarkConfigToProperties(config);
+  auto restored = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie().num_driver_instances, 8);
+  EXPECT_EQ(restored.ValueOrDie().total_kvps, 240000000ull);
+  EXPECT_EQ(restored.ValueOrDie().batch_size, 777u);
+  EXPECT_TRUE(restored.ValueOrDie().skip_warmup);
+}
+
+TEST(ReportFilesTest, WritesBothArtifacts) {
+  auto env = storage::NewMemEnv();
+  BenchmarkResult result;
+  result.valid = true;
+  result.iterations[0].measured.metrics = {1000, 0, 1000000};
+  result.iterations[1].measured.metrics = {1000, 0, 2000000};
+  PricedConfiguration pricing =
+      PricedConfiguration::ReferenceGatewayConfig(2);
+  SutDescription sut;
+  sut.nodes = 2;
+  ASSERT_TRUE(
+      WriteReportFiles(env.get(), "/reports", result, pricing, sut).ok());
+  std::string summary;
+  ASSERT_TRUE(env->ReadFileToString("/reports/executive_summary.txt",
+                                    &summary)
+                  .ok());
+  EXPECT_NE(summary.find("IoTps"), std::string::npos);
+  std::string fdr;
+  ASSERT_TRUE(
+      env->ReadFileToString("/reports/full_disclosure_report.txt", &fdr)
+          .ok());
+  EXPECT_NE(fdr.find("Priced configuration"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iot
+}  // namespace iotdb

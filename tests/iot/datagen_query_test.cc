@@ -1,0 +1,242 @@
+// DataGenerator and query template tests, including end-to-end execution
+// against a real KVStore.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/clock.h"
+#include "iot/data_generator.h"
+#include "iot/query.h"
+#include "storage/env.h"
+#include "storage/kvstore.h"
+#include "ycsb/bindings.h"
+
+namespace iotdb {
+namespace iot {
+namespace {
+
+TEST(DataGeneratorTest, GeneratesRequestedCount) {
+  ManualClock clock(1000000);
+  DataGenerator gen("sub1", 450, 7, &clock);
+  uint64_t n = 0;
+  while (gen.HasNext()) {
+    gen.Next();
+    ++n;
+  }
+  EXPECT_EQ(n, 450u);
+  EXPECT_EQ(gen.generated(), 450u);
+}
+
+TEST(DataGeneratorTest, RoundRobinsAcrossAllSensors) {
+  ManualClock clock(0);
+  DataGenerator gen("sub1", 400, 7, &clock);
+  std::set<std::string> first_sweep;
+  for (int i = 0; i < 200; ++i) {
+    first_sweep.insert(gen.NextReading().sensor_key);
+  }
+  EXPECT_EQ(first_sweep.size(), 200u);  // every sensor exactly once
+}
+
+TEST(DataGeneratorTest, TimestampsAreStrictlyIncreasing) {
+  ManualClock clock(500);  // frozen clock: collisions force +1 bumps
+  DataGenerator gen("sub1", 1000, 7, &clock);
+  uint64_t last = 0;
+  while (gen.HasNext()) {
+    Reading r = gen.NextReading();
+    EXPECT_GT(r.timestamp_micros, last);
+    last = r.timestamp_micros;
+  }
+}
+
+TEST(DataGeneratorTest, ValuesWithinSensorRange) {
+  ManualClock clock(0);
+  const SensorCatalog& catalog = SensorCatalog::Default();
+  DataGenerator gen("sub1", 600, 7, &clock);
+  for (int i = 0; i < 600; ++i) {
+    Reading r = gen.NextReading();
+    int idx = catalog.IndexOf(r.sensor_key);
+    ASSERT_GE(idx, 0);
+    EXPECT_GE(r.value, catalog.sensor(idx).min_value);
+    EXPECT_LE(r.value, catalog.sensor(idx).max_value);
+    EXPECT_EQ(r.unit, catalog.sensor(idx).unit);
+  }
+}
+
+TEST(DataGeneratorTest, DeterministicForSeed) {
+  ManualClock c1(0), c2(0);
+  DataGenerator a("sub1", 100, 99, &c1);
+  DataGenerator b("sub1", 100, 99, &c2);
+  for (int i = 0; i < 100; ++i) {
+    Kvp ka = a.Next();
+    Kvp kb = b.Next();
+    EXPECT_EQ(ka.key, kb.key);
+    EXPECT_EQ(ka.value, kb.value);
+  }
+}
+
+TEST(QueryGeneratorTest, WindowsMatchSpec) {
+  ManualClock clock(3600ull * 1000000);  // t = 1 hour
+  QueryGenerator gen("sub1", 7, &clock);
+  for (int i = 0; i < 200; ++i) {
+    Query q = gen.Next();
+    // Recent window is the last 5 seconds.
+    EXPECT_EQ(q.recent_end_micros, clock.NowMicros());
+    EXPECT_EQ(q.recent_end_micros - q.recent_start_micros, 5000000u);
+    // Past window is 5 s long, inside the previous 1800 s, and does not
+    // overlap the recent window.
+    EXPECT_EQ(q.past_end_micros - q.past_start_micros, 5000000u);
+    EXPECT_GE(q.past_start_micros,
+              clock.NowMicros() - 1800ull * 1000000);
+    EXPECT_LE(q.past_end_micros, q.recent_start_micros);
+    EXPECT_EQ(q.substation_key, "sub1");
+    EXPECT_GE(SensorCatalog::Default().IndexOf(q.sensor_key), 0);
+  }
+}
+
+TEST(QueryGeneratorTest, CoversAllFourTemplates) {
+  ManualClock clock(1ull << 40);
+  QueryGenerator gen("sub1", 3, &clock);
+  std::set<QueryType> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(gen.Next().type);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(QueryTypeTest, Names) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kMaxReading), "MAX_READING");
+  EXPECT_STREQ(QueryTypeName(QueryType::kMinReading), "MIN_READING");
+  EXPECT_STREQ(QueryTypeName(QueryType::kAvgReading), "AVG_READING");
+  EXPECT_STREQ(QueryTypeName(QueryType::kReadingCount), "READING_COUNT");
+}
+
+class QueryExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = storage::NewMemEnv();
+    storage::Options options;
+    options.env = env_.get();
+    store_ = storage::KVStore::Open(options, "/qx").MoveValueUnsafe();
+    db_ = std::make_unique<ycsb::KVStoreDB>(store_.get());
+  }
+
+  // Inserts `n` readings for one sensor, one per millisecond ending at
+  // `end_micros`, with values 1..n (newest = n).
+  void InsertSeries(const std::string& sensor, uint64_t end_micros,
+                    int n) {
+    for (int i = 1; i <= n; ++i) {
+      Reading r;
+      r.substation_key = "sub1";
+      r.sensor_key = sensor;
+      r.timestamp_micros = end_micros - (n - i) * 1000;
+      r.value = i;
+      r.unit = "unit";
+      Kvp kvp = KvpCodec::Encode(r, i);
+      ASSERT_TRUE(db_->Insert(kvp.key, kvp.value).ok());
+    }
+  }
+
+  std::unique_ptr<storage::Env> env_;
+  std::unique_ptr<storage::KVStore> store_;
+  std::unique_ptr<ycsb::DB> db_;
+};
+
+TEST_F(QueryExecutionTest, AggregatesBothWindows) {
+  const uint64_t now = 10000ull * 1000000;
+  // Recent window [now-5s, now): values 101..200 (100 readings at 1/ms
+  // would span 0.1s; use 1 reading per 50ms => 100 readings span 5s).
+  for (int i = 0; i < 100; ++i) {
+    Reading r;
+    r.substation_key = "sub1";
+    r.sensor_key = "pmu_freq_000";
+    r.timestamp_micros = now - 5000000 + i * 50000;
+    r.value = 101 + i;
+    r.unit = "hertz";
+    Kvp kvp = KvpCodec::Encode(r, i);
+    ASSERT_TRUE(db_->Insert(kvp.key, kvp.value).ok());
+  }
+  // Past window [now-100s, now-95s): values 1..50.
+  for (int i = 0; i < 50; ++i) {
+    Reading r;
+    r.substation_key = "sub1";
+    r.sensor_key = "pmu_freq_000";
+    r.timestamp_micros = now - 100000000 + i * 100000;
+    r.value = 1 + i;
+    r.unit = "hertz";
+    Kvp kvp = KvpCodec::Encode(r, 1000 + i);
+    ASSERT_TRUE(db_->Insert(kvp.key, kvp.value).ok());
+  }
+
+  Query query;
+  query.type = QueryType::kMaxReading;
+  query.substation_key = "sub1";
+  query.sensor_key = "pmu_freq_000";
+  query.recent_start_micros = now - 5000000;
+  query.recent_end_micros = now;
+  query.past_start_micros = now - 100000000;
+  query.past_end_micros = now - 95000000;
+
+  QueryExecutor executor(db_.get());
+  auto result = executor.Execute(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryResult& qr = result.ValueOrDie();
+  EXPECT_EQ(qr.recent.count, 100u);
+  EXPECT_EQ(qr.past.count, 50u);
+  EXPECT_EQ(qr.rows_read, 150u);
+  EXPECT_DOUBLE_EQ(qr.recent_value, 200.0);  // max of recent
+  EXPECT_DOUBLE_EQ(qr.past_value, 50.0);     // max of past
+
+  // The other templates on the same windows.
+  query.type = QueryType::kMinReading;
+  auto min_result = executor.Execute(query).ValueOrDie();
+  EXPECT_DOUBLE_EQ(min_result.recent_value, 101.0);
+  EXPECT_DOUBLE_EQ(min_result.past_value, 1.0);
+
+  query.type = QueryType::kAvgReading;
+  auto avg_result = executor.Execute(query).ValueOrDie();
+  EXPECT_NEAR(avg_result.recent_value, 150.5, 1e-9);
+  EXPECT_NEAR(avg_result.past_value, 25.5, 1e-9);
+
+  query.type = QueryType::kReadingCount;
+  auto count_result = executor.Execute(query).ValueOrDie();
+  EXPECT_DOUBLE_EQ(count_result.recent_value, 100.0);
+  EXPECT_DOUBLE_EQ(count_result.past_value, 50.0);
+}
+
+TEST_F(QueryExecutionTest, EmptyWindowsAreZero) {
+  // Warmup situation: no data in the past window at all.
+  Query query;
+  query.type = QueryType::kReadingCount;
+  query.substation_key = "sub1";
+  query.sensor_key = "pmu_freq_000";
+  query.recent_start_micros = 0;
+  query.recent_end_micros = 5000000;
+  query.past_start_micros = 10000000;
+  query.past_end_micros = 15000000;
+  QueryExecutor executor(db_.get());
+  auto result = executor.Execute(query).ValueOrDie();
+  EXPECT_EQ(result.rows_read, 0u);
+  EXPECT_DOUBLE_EQ(result.recent_value, 0.0);
+}
+
+TEST_F(QueryExecutionTest, SelectionIsolatesSensorAndSubstation) {
+  const uint64_t now = 5000ull * 1000000;
+  InsertSeries("ltc_gas_000", now, 10);
+  InsertSeries("ltc_gas_001", now, 10);  // neighbour sensor, same window
+
+  Query query;
+  query.type = QueryType::kReadingCount;
+  query.substation_key = "sub1";
+  query.sensor_key = "ltc_gas_000";
+  query.recent_start_micros = now - 5000000;
+  query.recent_end_micros = now + 1;  // include the ts == now reading
+  query.past_start_micros = 0;
+  query.past_end_micros = 1;
+
+  QueryExecutor executor(db_.get());
+  auto result = executor.Execute(query).ValueOrDie();
+  EXPECT_EQ(result.recent.count, 10u);  // neighbour not counted
+}
+
+}  // namespace
+}  // namespace iot
+}  // namespace iotdb

@@ -1,0 +1,161 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+
+namespace iotdb {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) sim.Schedule(1, recurse);
+  };
+  sim.Schedule(1, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { fired++; });
+  sim.Schedule(100, [&] { fired++; });
+  EXPECT_TRUE(sim.RunUntil(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  EXPECT_FALSE(sim.RunUntil(200));  // queue drains
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    fired++;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { fired++; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ResourceTest, SingleServerSerializesJobs) {
+  Simulator sim;
+  Resource server(&sim, 1);
+  std::vector<Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Process(10, [&](Time) { completions.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<Time>{10, 20, 30}));
+  EXPECT_EQ(server.jobs_completed(), 3u);
+  EXPECT_DOUBLE_EQ(server.Utilization(), 1.0);
+}
+
+TEST(ResourceTest, MultiServerRunsConcurrently) {
+  Simulator sim;
+  Resource server(&sim, 3);
+  std::vector<Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Process(10, [&](Time) { completions.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<Time>{10, 10, 10}));
+}
+
+TEST(ResourceTest, QueueDelayIsReported) {
+  Simulator sim;
+  Resource server(&sim, 1);
+  Time first_delay = 999, second_delay = 999;
+  server.Process(10, [&](Time d) { first_delay = d; });
+  server.Process(10, [&](Time d) { second_delay = d; });
+  sim.Run();
+  EXPECT_EQ(first_delay, 0u);
+  EXPECT_EQ(second_delay, 10u);
+}
+
+TEST(ResourceTest, StealServersBlocksService) {
+  Simulator sim;
+  Resource server(&sim, 1);
+  server.StealServers(1, 100);  // stall for 100us
+  Time done_at = 0;
+  sim.Schedule(1, [&] {
+    server.Process(10, [&](Time) { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 110u);  // waits out the stall
+}
+
+TEST(BatchServerTest, SoloRequestPaysFullFixedCost) {
+  Simulator sim;
+  BatchServer wal(&sim, /*gather=*/5, /*fixed=*/100, /*per_item=*/1.0);
+  Time done_at = 0;
+  wal.Submit(10, [&] { done_at = sim.Now(); });
+  sim.Run();
+  // gather(5) + fixed(100) + 10 items.
+  EXPECT_EQ(done_at, 115u);
+  EXPECT_EQ(wal.commits(), 1u);
+}
+
+TEST(BatchServerTest, ConcurrentRequestsShareOneCommit) {
+  Simulator sim;
+  BatchServer wal(&sim, 5, 100, 1.0);
+  int committed = 0;
+  for (int i = 0; i < 4; ++i) {
+    wal.Submit(10, [&] { committed++; });
+  }
+  sim.Run();
+  EXPECT_EQ(committed, 4);
+  EXPECT_EQ(wal.commits(), 1u);  // one group commit for all four
+  EXPECT_DOUBLE_EQ(wal.MeanBatchItems(), 40.0);
+}
+
+TEST(BatchServerTest, ArrivalsDuringCommitFormNextBatch) {
+  Simulator sim;
+  BatchServer wal(&sim, 5, 100, 1.0);
+  std::vector<Time> completions;
+  wal.Submit(10, [&] { completions.push_back(sim.Now()); });
+  // Arrives while the first commit is in flight (t=50 < 115).
+  sim.Schedule(50, [&] {
+    wal.Submit(10, [&] { completions.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 115u);
+  // Second commit starts right after the first: 115 + 100 + 10.
+  EXPECT_EQ(completions[1], 225u);
+  EXPECT_EQ(wal.commits(), 2u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace iotdb

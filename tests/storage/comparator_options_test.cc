@@ -1,0 +1,116 @@
+// Comparator helper tests plus a parameterised engine-configuration sweep:
+// the store must behave identically across block sizes, restart intervals,
+// bloom settings, and write-buffer sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/random.h"
+#include "storage/comparator.h"
+#include "storage/env.h"
+#include "storage/kvstore.h"
+
+namespace iotdb {
+namespace storage {
+namespace {
+
+TEST(BytewiseComparatorTest, FindShortestSeparatorShortens) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "abcdefghij";
+  cmp->FindShortestSeparator(&start, "abcdxyz");
+  // Separator must satisfy start <= sep < limit.
+  EXPECT_GE(start, std::string("abcd"));
+  EXPECT_LT(start, std::string("abcdxyz"));
+  EXPECT_LE(start.size(), 5u);
+}
+
+TEST(BytewiseComparatorTest, SeparatorNoopWhenPrefix) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "abc";
+  cmp->FindShortestSeparator(&start, "abcdef");  // start is a prefix
+  EXPECT_EQ(start, "abc");
+
+  std::string equal = "same";
+  cmp->FindShortestSeparator(&equal, "same");
+  EXPECT_EQ(equal, "same");
+}
+
+TEST(BytewiseComparatorTest, FindShortSuccessorIncrements) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string key = "abc";
+  cmp->FindShortSuccessor(&key);
+  EXPECT_EQ(key, "b");
+
+  std::string all_ff(3, '\xff');
+  std::string copy = all_ff;
+  cmp->FindShortSuccessor(&copy);
+  EXPECT_EQ(copy, all_ff);  // cannot be shortened
+}
+
+TEST(BytewiseComparatorTest, Name) {
+  EXPECT_STREQ(BytewiseComparator()->Name(), "iotdb.BytewiseComparator");
+}
+
+// (block_size, restart_interval, bloom_bits, write_buffer)
+using EngineConfig = std::tuple<size_t, int, int, size_t>;
+
+class EngineConfigTest : public ::testing::TestWithParam<EngineConfig> {};
+
+TEST_P(EngineConfigTest, StoreIsCorrectUnderAnyTuning) {
+  auto [block_size, restart_interval, bloom_bits, write_buffer] = GetParam();
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  options.block_size = block_size;
+  options.block_restart_interval = restart_interval;
+  options.bloom_bits_per_key = bloom_bits;
+  options.write_buffer_size = write_buffer;
+  options.l0_compaction_trigger = 3;
+  auto store = KVStore::Open(options, "/cfg").MoveValueUnsafe();
+
+  std::map<std::string, std::string> model;
+  Random rng(static_cast<uint64_t>(block_size) * 31 + bloom_bits);
+  for (int i = 0; i < 2500; ++i) {
+    std::string key = "key" + std::to_string(rng.Uniform(800));
+    if (rng.OneIn(6)) {
+      ASSERT_TRUE(store->Delete(WriteOptions(), key).ok());
+      model.erase(key);
+    } else {
+      std::string value = rng.RandomPrintableString(rng.Uniform(200) + 1);
+      ASSERT_TRUE(store->Put(WriteOptions(), key, value).ok());
+      model[key] = value;
+    }
+  }
+  ASSERT_TRUE(store->CompactAll().ok());
+
+  // Point reads.
+  for (const auto& [key, value] : model) {
+    auto r = store->Get(ReadOptions(), key);
+    ASSERT_TRUE(r.ok()) << key;
+    ASSERT_EQ(r.ValueOrDie(), value);
+  }
+  // Full scan order and contents.
+  auto iter = store->NewIterator(ReadOptions());
+  auto expected = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++expected) {
+    ASSERT_NE(expected, model.end());
+    ASSERT_EQ(iter->key().ToString(), expected->first);
+    ASSERT_EQ(iter->value().ToString(), expected->second);
+  }
+  EXPECT_EQ(expected, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tunings, EngineConfigTest,
+    ::testing::Values(
+        EngineConfig{512, 4, 10, 8 * 1024},     // tiny blocks, tiny buffer
+        EngineConfig{4096, 16, 10, 64 * 1024},  // defaults-ish
+        EngineConfig{4096, 1, 10, 64 * 1024},   // restart every entry
+        EngineConfig{16384, 16, 0, 32 * 1024},  // no bloom filter
+        EngineConfig{1024, 8, 2, 16 * 1024},    // weak bloom filter
+        EngineConfig{4096, 16, 10, 8 << 20}));  // everything in memtable
+
+}  // namespace
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,111 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace iotdb {
+namespace storage {
+namespace {
+
+class MemEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MemEnvTest, WriteThenReadBack) {
+  ASSERT_TRUE(env_->WriteStringToFile("/dir/file", "hello world").ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("/dir/file", &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+  EXPECT_TRUE(env_->FileExists("/dir/file"));
+  EXPECT_FALSE(env_->FileExists("/dir/other"));
+  EXPECT_EQ(env_->FileSize("/dir/file").ValueOrDie(), 11u);
+}
+
+TEST_F(MemEnvTest, AppendAccumulates) {
+  auto file = env_->NewWritableFile("/f").MoveValueUnsafe();
+  ASSERT_TRUE(file->Append("abc").ok());
+  ASSERT_TRUE(file->Append("def").ok());
+  ASSERT_TRUE(file->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("/f", &contents).ok());
+  EXPECT_EQ(contents, "abcdef");
+}
+
+TEST_F(MemEnvTest, RandomAccessReads) {
+  ASSERT_TRUE(env_->WriteStringToFile("/f", "0123456789").ok());
+  auto file = env_->NewRandomAccessFile("/f").MoveValueUnsafe();
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "3456");
+  // Read past EOF truncates.
+  ASSERT_TRUE(file->Read(8, 10, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "89");
+  ASSERT_TRUE(file->Read(100, 10, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(file->Size(), 10u);
+}
+
+TEST_F(MemEnvTest, SequentialReadAndSkip) {
+  ASSERT_TRUE(env_->WriteStringToFile("/f", "abcdefghij").ok());
+  auto file = env_->NewSequentialFile("/f").MoveValueUnsafe();
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "abc");
+  ASSERT_TRUE(file->Skip(4).ok());
+  ASSERT_TRUE(file->Read(10, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "hij");
+}
+
+TEST_F(MemEnvTest, ListDirIsShallow) {
+  ASSERT_TRUE(env_->WriteStringToFile("/db/a.sst", "x").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("/db/b.log", "x").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("/db/sub/c.sst", "x").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("/other/d.sst", "x").ok());
+  auto listing = env_->ListDir("/db").ValueOrDie();
+  std::sort(listing.begin(), listing.end());
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0], "a.sst");
+  EXPECT_EQ(listing[1], "b.log");
+}
+
+TEST_F(MemEnvTest, RenameAndRemove) {
+  ASSERT_TRUE(env_->WriteStringToFile("/f1", "data").ok());
+  ASSERT_TRUE(env_->RenameFile("/f1", "/f2").ok());
+  EXPECT_FALSE(env_->FileExists("/f1"));
+  EXPECT_TRUE(env_->FileExists("/f2"));
+  ASSERT_TRUE(env_->RemoveFile("/f2").ok());
+  EXPECT_FALSE(env_->FileExists("/f2"));
+  EXPECT_FALSE(env_->RemoveFile("/f2").ok());
+}
+
+TEST_F(MemEnvTest, MissingFilesAreErrors) {
+  EXPECT_FALSE(env_->NewRandomAccessFile("/missing").ok());
+  EXPECT_FALSE(env_->NewSequentialFile("/missing").ok());
+  EXPECT_FALSE(env_->FileSize("/missing").ok());
+}
+
+TEST(PosixEnvTest, RoundTripInTempDir) {
+  Env* env = Env::Posix();
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "iotdb_env_test").string();
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  std::string path = dir + "/file.txt";
+  ASSERT_TRUE(env->WriteStringToFile(path, "posix data").ok());
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "posix data");
+  EXPECT_TRUE(env->FileExists(path));
+  auto listing = env->ListDir(dir).ValueOrDie();
+  EXPECT_NE(std::find(listing.begin(), listing.end(), "file.txt"),
+            listing.end());
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,133 @@
+// Property-based testing of the KVStore against an in-memory reference
+// model: random interleavings of puts, deletes, batched writes, flushes,
+// compactions, and reopen cycles must keep every read path (Get, forward
+// scan, backward scan) consistent with a std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "storage/env.h"
+#include "storage/kvstore.h"
+
+namespace iotdb {
+namespace storage {
+namespace {
+
+class KVStorePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.write_buffer_size = 16 * 1024;
+    options_.block_size = 512;
+    options_.l0_compaction_trigger = 3;
+    Open();
+  }
+
+  void Open() {
+    store_ = KVStore::Open(options_, "/prop").MoveValueUnsafe();
+  }
+
+  void Reopen() {
+    store_.reset();
+    Open();
+  }
+
+  std::string RandomKey(Random* rng) {
+    // A small keyspace ensures frequent overwrites and deletes.
+    return "key" + std::to_string(rng->Uniform(200));
+  }
+
+  void CheckEverythingMatches(const std::map<std::string, std::string>& model) {
+    // Point reads.
+    for (const auto& [key, value] : model) {
+      auto r = store_->Get(ReadOptions(), key);
+      ASSERT_TRUE(r.ok()) << key << ": " << r.status().ToString();
+      ASSERT_EQ(r.ValueOrDie(), value) << key;
+    }
+    // Forward scan over everything.
+    auto iter = store_->NewIterator(ReadOptions());
+    auto expected = model.begin();
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++expected) {
+      ASSERT_NE(expected, model.end()) << "extra key " << iter->key()
+                                             .ToString();
+      ASSERT_EQ(iter->key().ToString(), expected->first);
+      ASSERT_EQ(iter->value().ToString(), expected->second);
+    }
+    ASSERT_EQ(expected, model.end()) << "iterator ended early";
+    ASSERT_TRUE(iter->status().ok());
+
+    // Backward scan.
+    auto riter = store_->NewIterator(ReadOptions());
+    auto rexpected = model.rbegin();
+    for (riter->SeekToLast(); riter->Valid(); riter->Prev(), ++rexpected) {
+      ASSERT_NE(rexpected, model.rend());
+      ASSERT_EQ(riter->key().ToString(), rexpected->first);
+      ASSERT_EQ(riter->value().ToString(), rexpected->second);
+    }
+    ASSERT_EQ(rexpected, model.rend());
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_P(KVStorePropertyTest, MatchesReferenceModel) {
+  Random rng(GetParam());
+  std::map<std::string, std::string> model;
+
+  const int kSteps = 1500;
+  for (int step = 0; step < kSteps; ++step) {
+    int op = static_cast<int>(rng.Uniform(100));
+    if (op < 55) {
+      std::string key = RandomKey(&rng);
+      std::string value = rng.RandomPrintableString(rng.Uniform(120) + 1);
+      ASSERT_TRUE(store_->Put(WriteOptions(), key, value).ok());
+      model[key] = value;
+    } else if (op < 70) {
+      std::string key = RandomKey(&rng);
+      ASSERT_TRUE(store_->Delete(WriteOptions(), key).ok());
+      model.erase(key);
+    } else if (op < 85) {
+      WriteBatch batch;
+      for (int i = 0; i < 10; ++i) {
+        std::string key = RandomKey(&rng);
+        if (rng.OneIn(4)) {
+          batch.Delete(key);
+          model.erase(key);
+        } else {
+          std::string value = rng.RandomPrintableString(30);
+          batch.Put(key, value);
+          model[key] = value;
+        }
+      }
+      ASSERT_TRUE(store_->Write(WriteOptions(), &batch).ok());
+    } else if (op < 92) {
+      ASSERT_TRUE(store_->FlushMemTable().ok());
+    } else if (op < 97) {
+      store_->WaitForBackgroundWork();
+    } else if (op < 99) {
+      ASSERT_TRUE(store_->CompactAll().ok());
+    } else {
+      Reopen();
+    }
+
+    if (step % 300 == 299) CheckEverythingMatches(model);
+  }
+  CheckEverythingMatches(model);
+
+  // Final durability check: everything survives a reopen.
+  Reopen();
+  CheckEverythingMatches(model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KVStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 101, 202, 303));
+
+}  // namespace
+}  // namespace storage
+}  // namespace iotdb

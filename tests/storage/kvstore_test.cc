@@ -1,0 +1,203 @@
+#include "storage/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/comparator.h"
+#include "storage/env.h"
+
+namespace iotdb {
+namespace storage {
+namespace {
+
+class KVStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.write_buffer_size = 64 * 1024;  // small: force flushes
+    options_.l0_compaction_trigger = 4;
+    auto result = KVStore::Open(options_, "/db");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    store_ = std::move(result).MoveValueUnsafe();
+  }
+
+  void Reopen() {
+    store_.reset();
+    auto result = KVStore::Open(options_, "/db");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    store_ = std::move(result).MoveValueUnsafe();
+  }
+
+  std::string Get(const std::string& key) {
+    auto r = store_->Get(ReadOptions(), key);
+    return r.ok() ? r.ValueOrDie() : "NOT_FOUND";
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_F(KVStoreTest, PutGet) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k1", "v1").ok());
+  EXPECT_EQ(Get("k1"), "v1");
+  EXPECT_EQ(Get("missing"), "NOT_FOUND");
+}
+
+TEST_F(KVStoreTest, Overwrite) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v1").ok());
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v2").ok());
+  EXPECT_EQ(Get("k"), "v2");
+}
+
+TEST_F(KVStoreTest, DeleteHidesKey) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(store_->Delete(WriteOptions(), "k").ok());
+  EXPECT_EQ(Get("k"), "NOT_FOUND");
+}
+
+TEST_F(KVStoreTest, GetSurvivesFlush) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  EXPECT_EQ(Get("k"), "v");
+  auto stats = store_->GetStats();
+  EXPECT_GE(stats.memtable_flushes, 1u);
+  EXPECT_GE(stats.num_files[0], 1);
+}
+
+TEST_F(KVStoreTest, ManyKeysWithFlushesAndCompactions) {
+  const int kN = 20000;
+  std::string value(100, 'x');
+  for (int i = 0; i < kN; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%08d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), key, value).ok());
+  }
+  store_->WaitForBackgroundWork();
+  for (int i = 0; i < kN; i += 997) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%08d", i);
+    EXPECT_EQ(Get(key), value) << key;
+  }
+  EXPECT_EQ(store_->CountKeysSlow(), static_cast<uint64_t>(kN));
+}
+
+TEST_F(KVStoreTest, ScanRange) {
+  for (int i = 0; i < 100; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), key, "v").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(store_->Scan(ReadOptions(), "k010", "k020", 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().first, "k010");
+  EXPECT_EQ(rows.back().first, "k019");
+}
+
+TEST_F(KVStoreTest, ScanWithLimit) {
+  for (int i = 0; i < 50; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "k%03d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), key, "v").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(store_->Scan(ReadOptions(), "", "", 7, &rows).ok());
+  EXPECT_EQ(rows.size(), 7u);
+}
+
+TEST_F(KVStoreTest, IteratorForwardBackward) {
+  for (int i = 0; i < 10; ++i) {
+    char key[8];
+    snprintf(key, sizeof(key), "k%d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), key, std::string(1, 'a' + i))
+                    .ok());
+  }
+  auto iter = store_->NewIterator(ReadOptions());
+  iter->SeekToLast();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k9");
+  iter->Prev();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k8");
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), "k9");
+}
+
+TEST_F(KVStoreTest, RecoveryFromWal) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "persist", "me").ok());
+  Reopen();
+  EXPECT_EQ(Get("persist"), "me");
+}
+
+TEST_F(KVStoreTest, RecoveryAfterFlushAndMoreWrites) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  ASSERT_TRUE(store_->Put(WriteOptions(), "b", "2").ok());
+  Reopen();
+  EXPECT_EQ(Get("a"), "1");
+  EXPECT_EQ(Get("b"), "2");
+}
+
+TEST_F(KVStoreTest, SnapshotIsolation) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "old").ok());
+  SequenceNumber snap = store_->GetSnapshot();
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "new").ok());
+  EXPECT_EQ(Get("k"), "new");
+  store_->ReleaseSnapshot(snap);
+}
+
+TEST_F(KVStoreTest, WriteBatchAtomicity) {
+  WriteBatch batch;
+  batch.Put("x", "1");
+  batch.Put("y", "2");
+  batch.Delete("x");
+  ASSERT_TRUE(store_->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ(Get("x"), "NOT_FOUND");
+  EXPECT_EQ(Get("y"), "2");
+}
+
+TEST_F(KVStoreTest, CompactAllMovesDataDown) {
+  std::string value(500, 'z');
+  for (int i = 0; i < 2000; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), key, value).ok());
+  }
+  ASSERT_TRUE(store_->CompactAll().ok());
+  auto stats = store_->GetStats();
+  EXPECT_EQ(stats.num_files[0], 0);
+  EXPECT_EQ(store_->CountKeysSlow(), 2000u);
+  EXPECT_EQ(Get("key000000"), value);
+  EXPECT_EQ(Get("key001999"), value);
+}
+
+TEST_F(KVStoreTest, DestroyRemovesEverything) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  store_.reset();
+  ASSERT_TRUE(KVStore::Destroy(options_, "/db").ok());
+  auto listing = options_.env->ListDir("/db");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_TRUE(listing.ValueOrDie().empty());
+}
+
+TEST_F(KVStoreTest, DeletionsAcrossFlushBoundaries) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  ASSERT_TRUE(store_->Delete(WriteOptions(), "k").ok());
+  ASSERT_TRUE(store_->FlushMemTable().ok());
+  EXPECT_EQ(Get("k"), "NOT_FOUND");
+  auto iter = store_->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace iotdb

@@ -1,0 +1,153 @@
+#include "ycsb/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace iotdb {
+namespace ycsb {
+namespace {
+
+TEST(CounterGeneratorTest, MonotoneAndLast) {
+  CounterGenerator gen(100);
+  EXPECT_EQ(gen.Next(), 100u);
+  EXPECT_EQ(gen.Next(), 101u);
+  EXPECT_EQ(gen.Last(), 101u);
+  gen.Set(5);
+  EXPECT_EQ(gen.Next(), 5u);
+}
+
+TEST(UniformGeneratorTest, CoversRangeUniformly) {
+  UniformGenerator gen(10, 19, 7);
+  std::map<uint64_t, int> counts;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = gen.Next();
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 19u);
+    counts[v]++;
+    EXPECT_EQ(gen.Last(), v);
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, kN / 10, kN / 100) << value;
+  }
+}
+
+TEST(ZipfianGeneratorTest, StaysInRange) {
+  ZipfianGenerator gen(1000);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianGeneratorTest, HeadIsHot) {
+  ZipfianGenerator gen(10000, ZipfianGenerator::kZipfianConstant, 11);
+  uint64_t head_hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next() < 100) head_hits++;  // top 1% of the keyspace
+  }
+  // Under zipf(0.99) the top 1% draws far more than 1% of accesses.
+  EXPECT_GT(head_hits, static_cast<uint64_t>(kN) / 5);
+}
+
+TEST(ZipfianGeneratorTest, ItemCountGrowth) {
+  ZipfianGenerator gen(10);
+  gen.SetItemCount(1000000);
+  bool saw_large = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000000u);
+    if (v >= 10) saw_large = true;
+  }
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(100000, 13);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[gen.Next()]++;
+  // The hottest key is hot...
+  int max_count = 0;
+  uint64_t hottest = 0;
+  for (const auto& [value, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      hottest = value;
+    }
+  }
+  EXPECT_GT(max_count, 1000);
+  // ...but not clustered at 0 (FNV scrambling).
+  EXPECT_GT(hottest, 100u);
+}
+
+TEST(SkewedLatestTest, FavoursRecentInserts) {
+  CounterGenerator basis(1000);
+  SkewedLatestGenerator gen(&basis, 17);
+  uint64_t recent = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = gen.Next();
+    ASSERT_LE(v, basis.Last());
+    if (v + 10 >= basis.Last()) recent++;
+  }
+  EXPECT_GT(recent, static_cast<uint64_t>(kN) / 4);
+}
+
+TEST(HotspotGeneratorTest, HotFractionRespected) {
+  HotspotGenerator gen(0, 999, 0.1, 0.9, 19);
+  uint64_t hot = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (gen.Next() < 100) hot++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / kN, 0.9, 0.02);
+}
+
+TEST(DiscreteGeneratorTest, WeightsAreHonoured) {
+  DiscreteGenerator gen(23);
+  gen.AddValue("READ", 0.7);
+  gen.AddValue("INSERT", 0.2);
+  gen.AddValue("SCAN", 0.1);
+  std::map<std::string, int> counts;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[gen.Next()]++;
+  EXPECT_NEAR(counts["READ"] / static_cast<double>(kN), 0.7, 0.02);
+  EXPECT_NEAR(counts["INSERT"] / static_cast<double>(kN), 0.2, 0.02);
+  EXPECT_NEAR(counts["SCAN"] / static_cast<double>(kN), 0.1, 0.02);
+}
+
+TEST(FnvTest, DeterministicAndSpreading) {
+  EXPECT_EQ(FnvHash64(1), FnvHash64(1));
+  EXPECT_NE(FnvHash64(1), FnvHash64(2));
+  // Low bits vary even for sequential inputs.
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 64; ++i) low_bits.insert(FnvHash64(i) % 64);
+  EXPECT_GT(low_bits.size(), 32u);
+}
+
+// Parameterised distribution sanity: every generator respects its range for
+// many seeds (property-style sweep).
+class GeneratorRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorRangeTest, AllGeneratorsStayInRange) {
+  uint64_t seed = GetParam();
+  UniformGenerator uniform(0, 99, seed);
+  ZipfianGenerator zipf(100, ZipfianGenerator::kZipfianConstant, seed);
+  ScrambledZipfianGenerator scrambled(100, seed);
+  HotspotGenerator hotspot(0, 99, 0.2, 0.8, seed);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(uniform.Next(), 100u);
+    EXPECT_LT(zipf.Next(), 100u);
+    EXPECT_LT(scrambled.Next(), 100u);
+    EXPECT_LT(hotspot.Next(), 100u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorRangeTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace ycsb
+}  // namespace iotdb

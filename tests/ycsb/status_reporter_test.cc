@@ -1,0 +1,61 @@
+#include "ycsb/status_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iotdb {
+namespace ycsb {
+namespace {
+
+TEST(StatusReporterTest, EmitsSamplesWhileRunning) {
+  std::atomic<uint64_t> ops{0};
+  std::vector<StatusReporter::Sample> samples;
+  std::mutex mu;
+  StatusReporter reporter(&ops, 30000 /* 30ms */,
+                          [&](const StatusReporter::Sample& sample) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            samples.push_back(sample);
+                          });
+  reporter.Start();
+  for (int i = 0; i < 5; ++i) {
+    ops.fetch_add(100);
+    Clock::Real()->SleepMicros(25000);
+  }
+  reporter.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(samples.size(), 2u);
+  // Totals are monotone and end at the final count.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].total_ops, samples[i - 1].total_ops);
+    EXPECT_GT(samples[i].elapsed_micros, samples[i - 1].elapsed_micros);
+  }
+  EXPECT_EQ(samples.back().total_ops, 500u);
+  EXPECT_GT(samples.back().cumulative_ops_per_sec, 0.0);
+}
+
+TEST(StatusReporterTest, StartStopAreIdempotent) {
+  std::atomic<uint64_t> ops{0};
+  StatusReporter reporter(&ops, 10000, [](const auto&) {});
+  reporter.Start();
+  reporter.Start();
+  reporter.Stop();
+  reporter.Stop();
+}
+
+TEST(StatusReporterTest, FormatIsHumanReadable) {
+  StatusReporter::Sample sample;
+  sample.elapsed_micros = 10 * 1000000;
+  sample.total_ops = 123456;
+  sample.interval_ops_per_sec = 1000.4;
+  sample.cumulative_ops_per_sec = 12345.6;
+  std::string line = StatusReporter::Format(sample);
+  EXPECT_NE(line.find("10 sec"), std::string::npos);
+  EXPECT_NE(line.find("123456 operations"), std::string::npos);
+  EXPECT_NE(line.find("12346 ops/sec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ycsb
+}  // namespace iotdb

@@ -1,0 +1,68 @@
+#include "ycsb/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/env.h"
+#include "storage/kvstore.h"
+#include "ycsb/bindings.h"
+#include "ycsb/client.h"
+#include "ycsb/core_workload.h"
+
+namespace iotdb {
+namespace ycsb {
+namespace {
+
+TEST(StandardWorkloadTest, AllSixPresetsAreValid) {
+  for (char name : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    auto props = StandardWorkload(name);
+    ASSERT_TRUE(props.ok()) << name;
+    auto workload = CoreWorkload::Create(props.ValueOrDie());
+    EXPECT_TRUE(workload.ok()) << name << ": "
+                               << workload.status().ToString();
+  }
+  EXPECT_TRUE(StandardWorkload('A').ok());  // case-insensitive
+  EXPECT_FALSE(StandardWorkload('z').ok());
+}
+
+TEST(StandardWorkloadTest, PresetsEncodeTheRightMix) {
+  Properties a = StandardWorkload('a').ValueOrDie();
+  EXPECT_EQ(a.Get("readproportion"), "0.5");
+  EXPECT_EQ(a.Get("updateproportion"), "0.5");
+
+  Properties c = StandardWorkload('c').ValueOrDie();
+  EXPECT_EQ(c.Get("readproportion"), "1.0");
+
+  Properties d = StandardWorkload('d').ValueOrDie();
+  EXPECT_EQ(d.Get("requestdistribution"), "latest");
+
+  Properties e = StandardWorkload('e').ValueOrDie();
+  EXPECT_EQ(e.Get("scanproportion"), "0.95");
+}
+
+TEST(StandardWorkloadTest, WorkloadsRunEndToEnd) {
+  auto env = storage::NewMemEnv();
+  storage::Options options;
+  options.env = env.get();
+  auto store = storage::KVStore::Open(options, "/wl").MoveValueUnsafe();
+  KVStoreDB db(store.get());
+
+  for (char name : {'a', 'c', 'e'}) {
+    Properties props = StandardWorkload(name).ValueOrDie();
+    props.Set("recordcount", "200");
+    props.Set("operationcount", "400");
+    auto workload = CoreWorkload::Create(props).MoveValueUnsafe();
+    Measurements measurements;
+    ClientOptions client_options;
+    ClientResult load =
+        RunLoadPhase(client_options, &db, workload.get(), &measurements);
+    EXPECT_EQ(load.failures, 0u) << name;
+    ClientResult txn = RunTransactionPhase(client_options, &db,
+                                           workload.get(), &measurements);
+    EXPECT_EQ(txn.operations, 400u) << name;
+    EXPECT_EQ(txn.failures, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ycsb
+}  // namespace iotdb

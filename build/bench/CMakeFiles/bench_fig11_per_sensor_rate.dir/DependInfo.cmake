@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_per_sensor_rate.cc" "bench/CMakeFiles/bench_fig11_per_sensor_rate.dir/bench_fig11_per_sensor_rate.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_per_sensor_rate.dir/bench_fig11_per_sensor_rate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iot/CMakeFiles/iotdb_iot.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/iotdb_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/iotdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iotdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iotdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

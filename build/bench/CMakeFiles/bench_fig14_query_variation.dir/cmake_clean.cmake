@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_query_variation.dir/bench_fig14_query_variation.cc.o"
+  "CMakeFiles/bench_fig14_query_variation.dir/bench_fig14_query_variation.cc.o.d"
+  "bench_fig14_query_variation"
+  "bench_fig14_query_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_query_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_generators.dir/bench_micro_generators.cc.o"
+  "CMakeFiles/bench_micro_generators.dir/bench_micro_generators.cc.o.d"
+  "bench_micro_generators"
+  "bench_micro_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_cluster.dir/bench_real_cluster.cc.o"
+  "CMakeFiles/bench_real_cluster.dir/bench_real_cluster.cc.o.d"
+  "bench_real_cluster"
+  "bench_real_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_kit.dir/benchmark_kit.cpp.o"
+  "CMakeFiles/benchmark_kit.dir/benchmark_kit.cpp.o.d"
+  "benchmark_kit"
+  "benchmark_kit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_kit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

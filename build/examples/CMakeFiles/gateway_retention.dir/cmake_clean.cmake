@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_retention.dir/gateway_retention.cpp.o"
+  "CMakeFiles/gateway_retention.dir/gateway_retention.cpp.o.d"
+  "gateway_retention"
+  "gateway_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_grid_dashboard.dir/smart_grid_dashboard.cpp.o"
+  "CMakeFiles/smart_grid_dashboard.dir/smart_grid_dashboard.cpp.o.d"
+  "smart_grid_dashboard"
+  "smart_grid_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_grid_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotdb_cluster.dir/cluster.cc.o"
+  "CMakeFiles/iotdb_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/iotdb_cluster.dir/node.cc.o"
+  "CMakeFiles/iotdb_cluster.dir/node.cc.o.d"
+  "libiotdb_cluster.a"
+  "libiotdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

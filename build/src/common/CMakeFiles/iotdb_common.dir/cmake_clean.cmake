@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotdb_common.dir/arena.cc.o"
+  "CMakeFiles/iotdb_common.dir/arena.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/clock.cc.o"
+  "CMakeFiles/iotdb_common.dir/clock.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/coding.cc.o"
+  "CMakeFiles/iotdb_common.dir/coding.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/crc32c.cc.o"
+  "CMakeFiles/iotdb_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/histogram.cc.o"
+  "CMakeFiles/iotdb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/logging.cc.o"
+  "CMakeFiles/iotdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/md5.cc.o"
+  "CMakeFiles/iotdb_common.dir/md5.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/properties.cc.o"
+  "CMakeFiles/iotdb_common.dir/properties.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/random.cc.o"
+  "CMakeFiles/iotdb_common.dir/random.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/rate_limiter.cc.o"
+  "CMakeFiles/iotdb_common.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/status.cc.o"
+  "CMakeFiles/iotdb_common.dir/status.cc.o.d"
+  "CMakeFiles/iotdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/iotdb_common.dir/thread_pool.cc.o.d"
+  "libiotdb_common.a"
+  "libiotdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

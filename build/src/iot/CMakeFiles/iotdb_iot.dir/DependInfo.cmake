@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iot/benchmark_driver.cc" "src/iot/CMakeFiles/iotdb_iot.dir/benchmark_driver.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/benchmark_driver.cc.o.d"
+  "/root/repo/src/iot/checks.cc" "src/iot/CMakeFiles/iotdb_iot.dir/checks.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/checks.cc.o.d"
+  "/root/repo/src/iot/config.cc" "src/iot/CMakeFiles/iotdb_iot.dir/config.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/config.cc.o.d"
+  "/root/repo/src/iot/data_generator.cc" "src/iot/CMakeFiles/iotdb_iot.dir/data_generator.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/data_generator.cc.o.d"
+  "/root/repo/src/iot/driver_host_model.cc" "src/iot/CMakeFiles/iotdb_iot.dir/driver_host_model.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/driver_host_model.cc.o.d"
+  "/root/repo/src/iot/driver_instance.cc" "src/iot/CMakeFiles/iotdb_iot.dir/driver_instance.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/driver_instance.cc.o.d"
+  "/root/repo/src/iot/experiments.cc" "src/iot/CMakeFiles/iotdb_iot.dir/experiments.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/experiments.cc.o.d"
+  "/root/repo/src/iot/kvp.cc" "src/iot/CMakeFiles/iotdb_iot.dir/kvp.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/kvp.cc.o.d"
+  "/root/repo/src/iot/metrics.cc" "src/iot/CMakeFiles/iotdb_iot.dir/metrics.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/metrics.cc.o.d"
+  "/root/repo/src/iot/pricing.cc" "src/iot/CMakeFiles/iotdb_iot.dir/pricing.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/pricing.cc.o.d"
+  "/root/repo/src/iot/query.cc" "src/iot/CMakeFiles/iotdb_iot.dir/query.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/query.cc.o.d"
+  "/root/repo/src/iot/report.cc" "src/iot/CMakeFiles/iotdb_iot.dir/report.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/report.cc.o.d"
+  "/root/repo/src/iot/retention.cc" "src/iot/CMakeFiles/iotdb_iot.dir/retention.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/retention.cc.o.d"
+  "/root/repo/src/iot/sensor.cc" "src/iot/CMakeFiles/iotdb_iot.dir/sensor.cc.o" "gcc" "src/iot/CMakeFiles/iotdb_iot.dir/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/iotdb_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/iotdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iotdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iotdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotdb_iot.dir/benchmark_driver.cc.o"
+  "CMakeFiles/iotdb_iot.dir/benchmark_driver.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/checks.cc.o"
+  "CMakeFiles/iotdb_iot.dir/checks.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/config.cc.o"
+  "CMakeFiles/iotdb_iot.dir/config.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/data_generator.cc.o"
+  "CMakeFiles/iotdb_iot.dir/data_generator.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/driver_host_model.cc.o"
+  "CMakeFiles/iotdb_iot.dir/driver_host_model.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/driver_instance.cc.o"
+  "CMakeFiles/iotdb_iot.dir/driver_instance.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/experiments.cc.o"
+  "CMakeFiles/iotdb_iot.dir/experiments.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/kvp.cc.o"
+  "CMakeFiles/iotdb_iot.dir/kvp.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/metrics.cc.o"
+  "CMakeFiles/iotdb_iot.dir/metrics.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/pricing.cc.o"
+  "CMakeFiles/iotdb_iot.dir/pricing.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/query.cc.o"
+  "CMakeFiles/iotdb_iot.dir/query.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/report.cc.o"
+  "CMakeFiles/iotdb_iot.dir/report.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/retention.cc.o"
+  "CMakeFiles/iotdb_iot.dir/retention.cc.o.d"
+  "CMakeFiles/iotdb_iot.dir/sensor.cc.o"
+  "CMakeFiles/iotdb_iot.dir/sensor.cc.o.d"
+  "libiotdb_iot.a"
+  "libiotdb_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotdb_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

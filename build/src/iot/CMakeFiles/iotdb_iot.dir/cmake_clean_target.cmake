@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotdb_iot.a"
+)

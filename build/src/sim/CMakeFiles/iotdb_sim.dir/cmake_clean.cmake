@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotdb_sim.dir/resource.cc.o"
+  "CMakeFiles/iotdb_sim.dir/resource.cc.o.d"
+  "CMakeFiles/iotdb_sim.dir/simulator.cc.o"
+  "CMakeFiles/iotdb_sim.dir/simulator.cc.o.d"
+  "libiotdb_sim.a"
+  "libiotdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

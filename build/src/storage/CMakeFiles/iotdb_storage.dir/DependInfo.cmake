@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/storage/CMakeFiles/iotdb_storage.dir/block.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/block.cc.o.d"
+  "/root/repo/src/storage/block_builder.cc" "src/storage/CMakeFiles/iotdb_storage.dir/block_builder.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/block_builder.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/iotdb_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/cache.cc" "src/storage/CMakeFiles/iotdb_storage.dir/cache.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/cache.cc.o.d"
+  "/root/repo/src/storage/comparator.cc" "src/storage/CMakeFiles/iotdb_storage.dir/comparator.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/comparator.cc.o.d"
+  "/root/repo/src/storage/db_iter.cc" "src/storage/CMakeFiles/iotdb_storage.dir/db_iter.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/db_iter.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/iotdb_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/iterator.cc" "src/storage/CMakeFiles/iotdb_storage.dir/iterator.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/iterator.cc.o.d"
+  "/root/repo/src/storage/kvstore.cc" "src/storage/CMakeFiles/iotdb_storage.dir/kvstore.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/kvstore.cc.o.d"
+  "/root/repo/src/storage/log_reader.cc" "src/storage/CMakeFiles/iotdb_storage.dir/log_reader.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/log_reader.cc.o.d"
+  "/root/repo/src/storage/log_writer.cc" "src/storage/CMakeFiles/iotdb_storage.dir/log_writer.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/log_writer.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/iotdb_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/merger.cc" "src/storage/CMakeFiles/iotdb_storage.dir/merger.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/merger.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/iotdb_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/table_builder.cc" "src/storage/CMakeFiles/iotdb_storage.dir/table_builder.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/table_builder.cc.o.d"
+  "/root/repo/src/storage/version.cc" "src/storage/CMakeFiles/iotdb_storage.dir/version.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/version.cc.o.d"
+  "/root/repo/src/storage/write_batch.cc" "src/storage/CMakeFiles/iotdb_storage.dir/write_batch.cc.o" "gcc" "src/storage/CMakeFiles/iotdb_storage.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iotdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ycsb/client.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/client.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/client.cc.o.d"
+  "/root/repo/src/ycsb/core_workload.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/core_workload.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/core_workload.cc.o.d"
+  "/root/repo/src/ycsb/db.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/db.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/db.cc.o.d"
+  "/root/repo/src/ycsb/generator.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/generator.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/generator.cc.o.d"
+  "/root/repo/src/ycsb/measurements.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/measurements.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/measurements.cc.o.d"
+  "/root/repo/src/ycsb/status_reporter.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/status_reporter.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/status_reporter.cc.o.d"
+  "/root/repo/src/ycsb/workloads.cc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/workloads.cc.o" "gcc" "src/ycsb/CMakeFiles/iotdb_ycsb.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/iotdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iotdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

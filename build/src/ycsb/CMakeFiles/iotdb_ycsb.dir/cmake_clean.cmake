@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotdb_ycsb.dir/client.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/client.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/core_workload.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/core_workload.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/db.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/db.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/generator.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/generator.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/measurements.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/measurements.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/status_reporter.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/status_reporter.cc.o.d"
+  "CMakeFiles/iotdb_ycsb.dir/workloads.cc.o"
+  "CMakeFiles/iotdb_ycsb.dir/workloads.cc.o.d"
+  "libiotdb_ycsb.a"
+  "libiotdb_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotdb_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_tests.dir/iot/benchmark_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/benchmark_test.cc.o.d"
+  "CMakeFiles/iot_tests.dir/iot/config_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/config_test.cc.o.d"
+  "CMakeFiles/iot_tests.dir/iot/datagen_query_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/datagen_query_test.cc.o.d"
+  "CMakeFiles/iot_tests.dir/iot/experiments_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/experiments_test.cc.o.d"
+  "CMakeFiles/iot_tests.dir/iot/integration_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/integration_test.cc.o.d"
+  "CMakeFiles/iot_tests.dir/iot/kvp_test.cc.o"
+  "CMakeFiles/iot_tests.dir/iot/kvp_test.cc.o.d"
+  "iot_tests"
+  "iot_tests.pdb"
+  "iot_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/compaction_filter_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/compaction_filter_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/compaction_filter_test.cc.o.d"
+  "/root/repo/tests/storage/comparator_options_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/comparator_options_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/comparator_options_test.cc.o.d"
+  "/root/repo/tests/storage/env_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/env_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/env_test.cc.o.d"
+  "/root/repo/tests/storage/format_property_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/format_property_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/format_property_test.cc.o.d"
+  "/root/repo/tests/storage/iterator_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/iterator_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/iterator_test.cc.o.d"
+  "/root/repo/tests/storage/kvstore_property_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/kvstore_property_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/kvstore_property_test.cc.o.d"
+  "/root/repo/tests/storage/kvstore_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/kvstore_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/kvstore_test.cc.o.d"
+  "/root/repo/tests/storage/log_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/log_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/log_test.cc.o.d"
+  "/root/repo/tests/storage/skiplist_memtable_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/skiplist_memtable_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/skiplist_memtable_test.cc.o.d"
+  "/root/repo/tests/storage/table_test.cc" "tests/CMakeFiles/storage_tests.dir/storage/table_test.cc.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iot/CMakeFiles/iotdb_iot.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/iotdb_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/iotdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iotdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iotdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iotdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

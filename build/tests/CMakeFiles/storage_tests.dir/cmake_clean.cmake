@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/compaction_filter_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/compaction_filter_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/comparator_options_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/comparator_options_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/env_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/env_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/format_property_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/format_property_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/iterator_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/iterator_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/kvstore_property_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/kvstore_property_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/kvstore_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/kvstore_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/log_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/log_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/skiplist_memtable_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/skiplist_memtable_test.cc.o.d"
+  "CMakeFiles/storage_tests.dir/storage/table_test.cc.o"
+  "CMakeFiles/storage_tests.dir/storage/table_test.cc.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_tests.dir/ycsb/generator_test.cc.o"
+  "CMakeFiles/ycsb_tests.dir/ycsb/generator_test.cc.o.d"
+  "CMakeFiles/ycsb_tests.dir/ycsb/status_reporter_test.cc.o"
+  "CMakeFiles/ycsb_tests.dir/ycsb/status_reporter_test.cc.o.d"
+  "CMakeFiles/ycsb_tests.dir/ycsb/workload_presets_test.cc.o"
+  "CMakeFiles/ycsb_tests.dir/ycsb/workload_presets_test.cc.o.d"
+  "CMakeFiles/ycsb_tests.dir/ycsb/workload_test.cc.o"
+  "CMakeFiles/ycsb_tests.dir/ycsb/workload_test.cc.o.d"
+  "ycsb_tests"
+  "ycsb_tests.pdb"
+  "ycsb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,9 +10,19 @@
 namespace iotdb {
 namespace cluster {
 
+namespace {
+
+// Rows per batch when catching a restarted node up via full shard re-copy.
+constexpr size_t kRecopyBatchRows = 512;
+
+}  // namespace
+
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {}
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Nodes hold stores using fault_env_; destroy them first.
+  nodes_.clear();
+}
 
 Result<std::unique_ptr<Cluster>> Cluster::Start(
     const ClusterOptions& options) {
@@ -24,15 +34,28 @@ Result<std::unique_ptr<Cluster>> Cluster::Start(
     cluster->owned_env_ = storage::NewMemEnv();
     cluster->options_.storage_options.env = cluster->owned_env_.get();
   }
+  if (cluster->options_.enable_fault_injection) {
+    cluster->fault_env_ = std::make_unique<storage::FaultInjectionEnv>(
+        cluster->options_.storage_options.env, cluster->options_.fault_seed);
+    cluster->options_.storage_options.env = cluster->fault_env_.get();
+  }
+  cluster->hints_.resize(static_cast<size_t>(cluster->options_.num_nodes));
   for (int i = 0; i < cluster->options_.num_nodes; ++i) {
     std::string dir =
         cluster->options_.data_root + "/node" + std::to_string(i);
     IOTDB_ASSIGN_OR_RETURN(
         auto node,
-        Node::Start(i, cluster->options_.storage_options, dir));
+        Node::Start(i, cluster->options_.storage_options, dir,
+                    cluster->fault_env_.get()));
     cluster->nodes_.push_back(std::move(node));
   }
   return cluster;
+}
+
+Clock* Cluster::clock() const {
+  return options_.storage_options.clock != nullptr
+             ? options_.storage_options.clock
+             : Clock::Real();
 }
 
 int Cluster::effective_replication() const {
@@ -66,6 +89,138 @@ std::vector<int> Cluster::ReplicaNodesForShardKey(
   return result;
 }
 
+Status Cluster::CrashNode(int id) {
+  if (id < 0 || id >= num_nodes()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(id));
+  }
+  IOTDB_RETURN_NOT_OK(nodes_[id]->Crash());
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  fault_stats_.node_crashes++;
+  return Status::OK();
+}
+
+Status Cluster::RestartNode(int id) {
+  if (id < 0 || id >= num_nodes()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(id));
+  }
+  Node* node = nodes_[id].get();
+  IOTDB_RETURN_NOT_OK(node->Restart());
+
+  // A crashed node lost acknowledged-but-unsynced writes, so its own
+  // recovery is not enough; an overflowed hint buffer lost the replay log.
+  // Either way only a full re-copy from live replicas reconverges — the
+  // hints are then redundant (live replicas already hold those writes).
+  bool recopy = node->crashed();
+  {
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    if (hints_[id].overflowed) recopy = true;
+    if (recopy) {
+      hints_[id].rows.clear();
+      hints_[id].overflowed = false;
+    }
+  }
+  if (recopy) IOTDB_RETURN_NOT_OK(RecopyShards(id));
+
+  // Drain hints in rounds; writers may keep hinting while a round replays.
+  // The round that observes an empty buffer flips the node up while still
+  // holding hints_mu_, so no writer can record a hint that would never be
+  // replayed (TryRecordHint re-checks is_down under the same mutex).
+  for (;;) {
+    std::vector<std::pair<std::string, std::string>> pending;
+    {
+      std::lock_guard<std::mutex> lock(hints_mu_);
+      if (hints_[id].rows.empty()) {
+        node->SetDown(false);
+        node->ClearCrashed();
+        fault_stats_.node_restarts++;
+        return Status::OK();
+      }
+      pending.swap(hints_[id].rows);
+    }
+    storage::WriteBatch batch;
+    for (const auto& [key, value] : pending) {
+      batch.Put(key, value);
+    }
+    // Applied directly to the store: the node is still marked down, so
+    // ApplyBatch would refuse, and catch-up writes should not skew the
+    // client-visible operation counters.
+    IOTDB_RETURN_NOT_OK(
+        node->store()->Write(storage::WriteOptions(), &batch));
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    fault_stats_.hint_replayed_kvps += pending.size();
+  }
+}
+
+bool Cluster::TryRecordHint(
+    int node_id,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  Node* node = nodes_[node_id].get();
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  if (!node->is_down()) return false;  // lost a race with RestartNode
+  node->CountSkippedReplicaWrites(rows.size());
+  fault_stats_.hinted_kvps += rows.size();
+  HintBuffer& buf = hints_[node_id];
+  if (buf.overflowed) return true;  // already due for a full re-copy
+  if (buf.rows.size() + rows.size() > options_.max_hints_per_node) {
+    buf.overflowed = true;
+    buf.rows.clear();
+    buf.rows.shrink_to_fit();
+    fault_stats_.hint_overflows++;
+    return true;
+  }
+  buf.rows.insert(buf.rows.end(), rows.begin(), rows.end());
+  return true;
+}
+
+Status Cluster::RecopyShards(int target_id) {
+  Node* target = nodes_[target_id].get();
+  for (auto& source : nodes_) {
+    if (source->id() == target_id) continue;
+    if (source->is_down() || !source->is_running()) continue;
+    auto iter = source->store()->NewIterator(storage::ReadOptions());
+    storage::WriteBatch batch;
+    size_t batch_rows = 0;
+    uint64_t copied = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      // Copy a key iff the target replicates it and this source is the
+      // first live replica for it — exactly one source per key.
+      bool target_holds = false;
+      int copier = -1;
+      for (int r : ReplicaNodesFor(iter->key())) {
+        if (r == target_id) {
+          target_holds = true;
+        } else if (copier < 0 && !nodes_[r]->is_down() &&
+                   nodes_[r]->is_running()) {
+          copier = r;
+        }
+      }
+      if (!target_holds || copier != source->id()) continue;
+      batch.Put(iter->key(), iter->value());
+      if (++batch_rows >= kRecopyBatchRows) {
+        IOTDB_RETURN_NOT_OK(
+            target->store()->Write(storage::WriteOptions(), &batch));
+        copied += batch_rows;
+        batch.Clear();
+        batch_rows = 0;
+      }
+    }
+    IOTDB_RETURN_NOT_OK(iter->status());
+    if (batch_rows > 0) {
+      IOTDB_RETURN_NOT_OK(
+          target->store()->Write(storage::WriteOptions(), &batch));
+      copied += batch_rows;
+    }
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    fault_stats_.recopied_kvps += copied;
+  }
+  return Status::OK();
+}
+
+FaultRecoveryStats Cluster::GetFaultRecoveryStats() const {
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  return fault_stats_;
+}
+
 NodeStats Cluster::GetAggregateStats() const {
   NodeStats total;
   for (const auto& node : nodes_) {
@@ -76,13 +231,14 @@ NodeStats Cluster::GetAggregateStats() const {
     total.scans += s.scans;
     total.scan_rows_read += s.scan_rows_read;
     total.bytes_written += s.bytes_written;
+    total.skipped_replica_writes += s.skipped_replica_writes;
   }
   return total;
 }
 
 std::string Cluster::Describe() {
   std::string out;
-  char line[256];
+  char line[320];
   NodeStats total = GetAggregateStats();
   snprintf(line, sizeof(line),
            "cluster: %d nodes, replication %d (effective %d), imbalance "
@@ -92,6 +248,20 @@ std::string Cluster::Describe() {
   out += line;
   for (const auto& node : nodes_) {
     NodeStats stats = node->GetStats();
+    const char* state = node->is_down()
+                            ? (node->is_running() ? "DOWN" : "CRASHED")
+                            : "up";
+    if (!node->is_running()) {
+      snprintf(line, sizeof(line),
+               "  node %d [%s]: %llu primary kvps, store closed, "
+               "%llu skipped replica kvps\n",
+               node->id(), state,
+               static_cast<unsigned long long>(stats.primary_writes),
+               static_cast<unsigned long long>(
+                   stats.skipped_replica_writes));
+      out += line;
+      continue;
+    }
     storage::KVStoreStats engine = node->store()->GetStats();
     double share = total.primary_writes == 0
                        ? 0
@@ -106,8 +276,8 @@ std::string Cluster::Describe() {
     snprintf(line, sizeof(line),
              "  node %d [%s]: %llu primary kvps (%.1f%%), %llu scans, "
              "L0=%d files=%d flushes=%llu compactions=%llu "
-             "stall=%.1fms cache-hit=%.0f%%\n",
-             node->id(), node->is_down() ? "DOWN" : "up",
+             "stall=%.1fms cache-hit=%.0f%% skipped=%llu\n",
+             node->id(), state,
              static_cast<unsigned long long>(stats.primary_writes), share,
              static_cast<unsigned long long>(stats.scans),
              engine.num_files[0], total_files,
@@ -116,7 +286,23 @@ std::string Cluster::Describe() {
              engine.write_stall_micros / 1000.0,
              cache_lookups == 0
                  ? 0.0
-                 : 100.0 * engine.block_cache_hits / cache_lookups);
+                 : 100.0 * engine.block_cache_hits / cache_lookups,
+             static_cast<unsigned long long>(stats.skipped_replica_writes));
+    out += line;
+  }
+  FaultRecoveryStats faults = GetFaultRecoveryStats();
+  if (faults.node_crashes + faults.node_restarts + faults.hinted_kvps +
+          faults.hint_overflows + faults.recopied_kvps >
+      0) {
+    snprintf(line, sizeof(line),
+             "  faults: %llu crashes, %llu restarts, %llu hinted kvps "
+             "(%llu replayed, %llu overflows), %llu re-copied kvps\n",
+             static_cast<unsigned long long>(faults.node_crashes),
+             static_cast<unsigned long long>(faults.node_restarts),
+             static_cast<unsigned long long>(faults.hinted_kvps),
+             static_cast<unsigned long long>(faults.hint_replayed_kvps),
+             static_cast<unsigned long long>(faults.hint_overflows),
+             static_cast<unsigned long long>(faults.recopied_kvps));
     out += line;
   }
   return out;
@@ -142,11 +328,17 @@ Status Cluster::PurgeAll() {
   for (auto& node : nodes_) {
     IOTDB_RETURN_NOT_OK(node->Purge());
   }
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  for (auto& buf : hints_) {
+    buf.rows.clear();
+    buf.overflowed = false;
+  }
   return Status::OK();
 }
 
 Status Cluster::FlushAll() {
   for (auto& node : nodes_) {
+    if (!node->is_running()) continue;  // crashed; nothing to flush
     IOTDB_RETURN_NOT_OK(node->store()->FlushMemTable());
   }
   return Status::OK();
@@ -156,17 +348,105 @@ Status Cluster::FlushAll() {
 // Client
 // ---------------------------------------------------------------------------
 
-Status Client::Put(const Slice& key, const Slice& value) {
-  std::vector<int> replicas = cluster_->ReplicaNodesFor(key);
-  bool primary = true;
-  for (int node_id : replicas) {
-    storage::WriteBatch batch;
-    batch.Put(key, value);
-    IOTDB_RETURN_NOT_OK(cluster_->node(node_id)->ApplyBatch(
-        &batch, primary, 1, key.size() + value.size()));
-    primary = false;
+namespace {
+
+bool IsRetryable(const Status& s) {
+  return s.IsIOError() || s.IsBusy() || s.IsTimedOut();
+}
+
+}  // namespace
+
+uint64_t Client::NextRand() {
+  // splitmix64 over an atomically-incremented counter.
+  uint64_t z = jitter_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                       std::memory_order_relaxed) +
+               0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Client::BackoffMicros(int completed_attempts) {
+  const RetryPolicy& policy = cluster_->options().retry_policy;
+  double backoff = static_cast<double>(policy.initial_backoff_micros) *
+                   std::pow(policy.backoff_multiplier,
+                            std::max(0, completed_attempts - 1));
+  backoff =
+      std::min(backoff, static_cast<double>(policy.max_backoff_micros));
+  if (policy.jitter > 0) {
+    // Subtract a random fraction of `jitter * backoff` so concurrent
+    // clients retrying the same fault decorrelate.
+    double fraction =
+        static_cast<double>(NextRand() >> 11) * (1.0 / (1ull << 53));
+    backoff *= 1.0 - policy.jitter * fraction;
   }
-  return Status::OK();
+  return static_cast<uint64_t>(backoff);
+}
+
+Status Client::RetryOp(const std::function<Status()>& op, Node* node) {
+  const RetryPolicy& policy = cluster_->options().retry_policy;
+  Clock* clock = cluster_->clock();
+  const uint64_t start = clock->NowMicros();
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status s;
+  for (int attempt = 1;; ++attempt) {
+    s = op();
+    if (s.ok() || !IsRetryable(s)) return s;
+    // A down node is not a transient fault: the caller fails over (reads)
+    // or records a hint (writes).
+    if (node != nullptr && node->is_down()) return s;
+    if (attempt >= max_attempts) return s;
+    uint64_t backoff = BackoffMicros(attempt);
+    if (policy.op_deadline_micros > 0 &&
+        clock->NowMicros() - start + backoff >= policy.op_deadline_micros) {
+      return Status::TimedOut("op deadline exceeded after " +
+                              std::to_string(attempt) +
+                              " attempts: " + s.message());
+    }
+    clock->SleepMicros(backoff);
+  }
+}
+
+Status Client::WriteShardBatch(
+    const std::vector<int>& replicas, const storage::WriteBatch& batch,
+    const std::vector<std::pair<std::string, std::string>>& rows,
+    uint64_t kvps, uint64_t bytes) {
+  int applied = 0;
+  Status first_error;
+  for (int node_id : replicas) {
+    Node* node = cluster_->node(node_id);
+    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) continue;
+    // WriteBatch sequence numbers are assigned per node store, so each
+    // replica gets its own copy of the batch.
+    storage::WriteBatch copy;
+    copy.Append(batch);
+    Status s = RetryOp(
+        [&]() {
+          return node->ApplyBatch(&copy, /*as_primary=*/applied == 0, kvps,
+                                  bytes);
+        },
+        node);
+    if (s.ok()) {
+      applied++;
+      continue;
+    }
+    // The node may have gone down mid-write (e.g. crashed under us):
+    // degrade to a hint instead of failing the whole operation.
+    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) continue;
+    if (first_error.ok()) first_error = s;
+  }
+  if (applied > 0) return Status::OK();
+  if (!first_error.ok()) return first_error;
+  return Status::IOError("no live replicas for shard");
+}
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  storage::WriteBatch batch;
+  batch.Put(key, value);
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back(key.ToString(), value.ToString());
+  return WriteShardBatch(cluster_->ReplicaNodesFor(key), batch, rows, 1,
+                         key.size() + value.size());
 }
 
 Status Client::PutBatch(
@@ -174,27 +454,25 @@ Status Client::PutBatch(
   // Group rows by primary node; each group replicates as one batch.
   struct Group {
     storage::WriteBatch batch;
-    uint64_t kvps = 0;
+    std::vector<std::pair<std::string, std::string>> rows;
     uint64_t bytes = 0;
   };
   std::unordered_map<int, Group> groups;
   for (const auto& [key, value] : kvps) {
     Group& g = groups[cluster_->PrimaryNodeFor(key)];
     g.batch.Put(key, value);
-    g.kvps++;
+    g.rows.emplace_back(key, value);
     g.bytes += key.size() + value.size();
   }
   for (auto& [primary, group] : groups) {
     int replicas = cluster_->effective_replication();
+    std::vector<int> replica_ids;
+    replica_ids.reserve(replicas);
     for (int i = 0; i < replicas; ++i) {
-      int node_id = (primary + i) % cluster_->num_nodes();
-      // WriteBatch sequence numbers are assigned per node store, so each
-      // replica gets its own copy of the batch.
-      storage::WriteBatch copy;
-      copy.Append(group.batch);
-      IOTDB_RETURN_NOT_OK(cluster_->node(node_id)->ApplyBatch(
-          &copy, /*as_primary=*/i == 0, group.kvps, group.bytes));
+      replica_ids.push_back((primary + i) % cluster_->num_nodes());
     }
+    IOTDB_RETURN_NOT_OK(WriteShardBatch(replica_ids, group.batch, group.rows,
+                                        group.rows.size(), group.bytes));
   }
   return Status::OK();
 }
@@ -204,9 +482,17 @@ Result<std::string> Client::Get(const Slice& key) {
   for (int node_id : cluster_->ReplicaNodesFor(key)) {
     Node* node = cluster_->node(node_id);
     if (node->is_down()) continue;
-    auto result = node->Get(key);
-    if (result.ok() || result.status().IsNotFound()) return result;
-    last_error = result.status();
+    std::string value;
+    Status s = RetryOp(
+        [&]() {
+          auto result = node->Get(key);
+          if (result.ok()) value = std::move(result).MoveValueUnsafe();
+          return result.status();
+        },
+        node);
+    if (s.ok()) return value;
+    if (s.IsNotFound()) return s;
+    last_error = s;
   }
   return last_error;
 }
@@ -233,7 +519,13 @@ Status Client::Scan(const Slice& shard_key, const Slice& start,
   for (int node_id : cluster_->ReplicaNodesForShardKey(shard_key)) {
     Node* node = cluster_->node(node_id);
     if (node->is_down()) continue;
-    Status s = node->Scan(start, end_exclusive, limit, out);
+    size_t before = out->size();
+    Status s = RetryOp(
+        [&]() {
+          out->resize(before);  // drop partial results of a failed attempt
+          return node->Scan(start, end_exclusive, limit, out);
+        },
+        node);
     if (s.ok()) return s;
     last_error = s;
   }

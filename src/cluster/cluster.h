@@ -1,21 +1,39 @@
 #ifndef IOTDB_CLUSTER_CLUSTER_H_
 #define IOTDB_CLUSTER_CLUSTER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/node.h"
 #include "cluster/options.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/env.h"
+#include "storage/fault_env.h"
 
 namespace iotdb {
 namespace cluster {
 
 class Client;
+
+/// Counters of the cluster's fault-recovery machinery. Cumulative since
+/// cluster start (PurgeAll does not reset them).
+struct FaultRecoveryStats {
+  uint64_t node_crashes = 0;     // CrashNode() calls that took a node down
+  uint64_t node_restarts = 0;    // nodes brought back up (catch-up converged)
+  uint64_t hinted_kvps = 0;      // writes buffered for a down replica
+  uint64_t hint_replayed_kvps = 0;  // hints applied during catch-up
+  uint64_t hint_overflows = 0;   // hint buffers dropped for a full re-copy
+  uint64_t recopied_kvps = 0;    // kvps restored by full shard re-copy
+};
 
 /// An in-process gateway cluster (the System Under Test of TPCx-IoT): N
 /// nodes each running a KVStore, hash-sharded by a configurable shard key,
@@ -26,6 +44,13 @@ class Client;
 ///   auto cluster = Cluster::Start(opts).MoveValueUnsafe();
 ///   Client client(cluster.get());
 ///   client.Put(key, value);
+///
+/// Fault tolerance: writes to a shard with down replicas succeed in degraded
+/// mode — the missed replica writes are buffered as bounded per-node hints
+/// and replayed when the node rejoins via RestartNode(). A node that went
+/// down through CrashNode() (losing unsynced state), or whose hint buffer
+/// overflowed, is instead caught up by a full shard re-copy from the first
+/// live replica of each of its shards.
 class Cluster {
  public:
   static Result<std::unique_ptr<Cluster>> Start(const ClusterOptions& options);
@@ -38,6 +63,12 @@ class Cluster {
   Node* node(int i) { return nodes_[i].get(); }
 
   const ClusterOptions& options() const { return options_; }
+
+  Clock* clock() const;
+
+  /// Non-null when options().enable_fault_injection is set; shared by all
+  /// node stores, so the harness can set rates / inspect fault counters.
+  storage::FaultInjectionEnv* fault_env() { return fault_env_.get(); }
 
   /// Effective number of distinct replicas per write.
   int effective_replication() const;
@@ -52,13 +83,26 @@ class Cluster {
   /// application), primary first.
   std::vector<int> ReplicaNodesForShardKey(const Slice& shard_key) const;
 
+  /// Simulates an abrupt node failure: the node drops off the cluster and —
+  /// when fault injection is enabled — loses everything its store had not
+  /// yet synced, exactly like a killed process.
+  Status CrashNode(int id);
+
+  /// Brings a node back: reopens its store through WAL/manifest recovery,
+  /// catches it up (hint replay, or full shard re-copy after a crash or
+  /// hint overflow) and only then marks it live again.
+  Status RestartNode(int id);
+
+  FaultRecoveryStats GetFaultRecoveryStats() const;
+
   /// Aggregated and per-node statistics.
   NodeStats GetNodeStats(int i) const { return nodes_[i]->GetStats(); }
   NodeStats GetAggregateStats() const;
 
   /// Multi-line human-readable cluster state: per-node liveness, primary
   /// write share, storage-engine shape (files per level, stalls, cache
-  /// hit rate). The operator-facing "describe cluster" output.
+  /// hit rate) and fault-recovery counters. The operator-facing "describe
+  /// cluster" output.
   std::string Describe();
 
   /// Coefficient of variation of primary-write load across live nodes:
@@ -66,29 +110,67 @@ class Cluster {
   double PrimaryLoadImbalance() const;
 
   /// Purges all data from every node (TPCx-IoT system cleanup between
-  /// benchmark iterations).
+  /// benchmark iterations). Also discards pending hints; fault-recovery
+  /// counters keep accumulating.
   Status PurgeAll();
 
-  /// Flushes every node's memtable (used by deterministic tests).
+  /// Flushes every running node's memtable (used by deterministic tests).
   Status FlushAll();
 
  private:
+  friend class Client;
+
   explicit Cluster(const ClusterOptions& options);
 
   Slice ShardKeyOf(const Slice& row_key) const;
 
+  /// Buffers `rows` for a down replica. Returns false — without recording
+  /// anything — when the node turned out to be up (the caller lost a race
+  /// with RestartNode and must apply the write normally).
+  bool TryRecordHint(int node_id,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         rows);
+
+  /// Rebuilds a restarted node's shards from the first live replica of each
+  /// shard (the node itself excluded). Exactly one source copies each key.
+  Status RecopyShards(int target_id);
+
   ClusterOptions options_;
   std::unique_ptr<storage::Env> owned_env_;
+  std::unique_ptr<storage::FaultInjectionEnv> fault_env_;  // may be null
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  struct HintBuffer {
+    std::vector<std::pair<std::string, std::string>> rows;
+    bool overflowed = false;
+  };
+
+  /// Guards hints_ and fault_stats_, and serialises the hint-or-apply
+  /// decision against the down->up flip in RestartNode.
+  mutable std::mutex hints_mu_;
+  std::vector<HintBuffer> hints_;  // one per node
+  FaultRecoveryStats fault_stats_;
 };
 
-/// Routing client. Cheap to copy construct per thread; thread-safe because
-/// nodes are.
+/// Routing client. A single instance may be shared by many threads (nodes
+/// are thread-safe and the retry jitter state is atomic).
+///
+/// All operations retry transient failures with bounded exponential backoff
+/// + jitter under a per-op deadline (ClusterOptions::retry_policy). Writes
+/// to shards with down replicas succeed in degraded mode, recording hints
+/// for the missed replicas.
 class Client {
  public:
   explicit Client(Cluster* cluster) : cluster_(cluster) {}
 
-  /// Writes one kvp to all replicas, synchronously.
+  Client(const Client& rhs) : cluster_(rhs.cluster_) {}
+  Client& operator=(const Client& rhs) {
+    cluster_ = rhs.cluster_;
+    return *this;
+  }
+
+  /// Writes one kvp to all replicas, synchronously. Succeeds when at least
+  /// one replica applied it; missed (down) replicas get hints.
   Status Put(const Slice& key, const Slice& value);
 
   /// Writes a group of kvps: groups by primary node, then applies each
@@ -114,7 +196,27 @@ class Client {
               std::vector<std::pair<std::string, std::string>>* out);
 
  private:
+  /// Applies one shard's batch to its replica set in degraded mode: down
+  /// replicas get hints, live ones are written with retries; OK when >= 1
+  /// replica applied the batch.
+  Status WriteShardBatch(
+      const std::vector<int>& replicas, const storage::WriteBatch& batch,
+      const std::vector<std::pair<std::string, std::string>>& rows,
+      uint64_t kvps, uint64_t bytes);
+
+  /// Runs `op` under the retry policy. Retries transient failures (IOError/
+  /// Busy/TimedOut) with exponential backoff + jitter until max_attempts or
+  /// the op deadline; gives up immediately when `node` goes down (the
+  /// caller fails over or records a hint instead).
+  Status RetryOp(const std::function<Status()>& op, Node* node);
+
+  uint64_t NextRand();
+  uint64_t BackoffMicros(int completed_attempts);
+
   Cluster* cluster_;
+  /// Jitter RNG state (splitmix64 over an atomic counter: thread-safe and
+  /// allocation-free; determinism is not needed for jitter).
+  std::atomic<uint64_t> jitter_state_{0x243F6A8885A308D3ull};
 };
 
 }  // namespace cluster

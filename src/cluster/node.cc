@@ -1,24 +1,68 @@
 #include "cluster/node.h"
 
+#include <mutex>
+
 namespace iotdb {
 namespace cluster {
 
-Node::Node(int id, const storage::Options& options, std::string data_dir)
-    : id_(id), options_(options), data_dir_(std::move(data_dir)) {}
+Node::Node(int id, const storage::Options& options, std::string data_dir,
+           storage::FaultInjectionEnv* fault_env)
+    : id_(id),
+      options_(options),
+      data_dir_(std::move(data_dir)),
+      fault_env_(fault_env) {}
 
-Result<std::unique_ptr<Node>> Node::Start(int id,
-                                          const storage::Options& options,
-                                          const std::string& data_dir) {
-  auto node = std::unique_ptr<Node>(new Node(id, options, data_dir));
+Result<std::unique_ptr<Node>> Node::Start(
+    int id, const storage::Options& options, const std::string& data_dir,
+    storage::FaultInjectionEnv* fault_env) {
+  auto node =
+      std::unique_ptr<Node>(new Node(id, options, data_dir, fault_env));
   IOTDB_ASSIGN_OR_RETURN(node->store_,
                          storage::KVStore::Open(options, data_dir));
   return node;
 }
 
+bool Node::is_running() const {
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  return store_ != nullptr;
+}
+
+Status Node::NotRunningError() const {
+  return Status::IOError("node " + std::to_string(id_) + " is down");
+}
+
+Status Node::Crash() {
+  // New operations are rejected from here on; in-flight store IO starts
+  // failing once the fault env marks the data dir crashed, which also
+  // unblocks writers stalled on background work.
+  down_.store(true, std::memory_order_release);
+  if (fault_env_ != nullptr) fault_env_->MarkCrashed(data_dir_);
+  {
+    std::unique_lock<std::shared_mutex> lock(lifecycle_mu_);
+    store_.reset();  // waits for in-flight ops (shared holders) to drain
+  }
+  if (fault_env_ != nullptr) {
+    IOTDB_RETURN_NOT_OK(fault_env_->Crash(data_dir_));
+  }
+  crashed_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Node::Restart() {
+  if (fault_env_ != nullptr) fault_env_->ClearCrashed(data_dir_);
+  std::unique_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (store_ == nullptr) {
+    IOTDB_ASSIGN_OR_RETURN(store_,
+                           storage::KVStore::Open(options_, data_dir_));
+  }
+  // Still marked down: the cluster flips the node up after catch-up.
+  return Status::OK();
+}
+
 Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
                         uint64_t kvps, uint64_t bytes) {
-  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
-                                        " is down");
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (is_down() || store_ == nullptr) return NotRunningError();
   IOTDB_RETURN_NOT_OK(store_->Write(storage::WriteOptions(), batch));
   writes_.fetch_add(kvps, std::memory_order_relaxed);
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
@@ -29,8 +73,8 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
 }
 
 Result<std::string> Node::Get(const Slice& key) {
-  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
-                                        " is down");
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (is_down() || store_ == nullptr) return NotRunningError();
   reads_.fetch_add(1, std::memory_order_relaxed);
   return store_->Get(storage::ReadOptions(), key);
 }
@@ -38,8 +82,8 @@ Result<std::string> Node::Get(const Slice& key) {
 Status Node::Scan(const Slice& start, const Slice& end_exclusive,
                   size_t limit,
                   std::vector<std::pair<std::string, std::string>>* out) {
-  if (is_down()) return Status::IOError("node " + std::to_string(id_) +
-                                        " is down");
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (is_down() || store_ == nullptr) return NotRunningError();
   scans_.fetch_add(1, std::memory_order_relaxed);
   size_t before = out->size();
   IOTDB_RETURN_NOT_OK(
@@ -56,19 +100,26 @@ NodeStats Node::GetStats() const {
   stats.scans = scans_.load(std::memory_order_relaxed);
   stats.scan_rows_read = scan_rows_read_.load(std::memory_order_relaxed);
   stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  stats.skipped_replica_writes =
+      skipped_replica_writes_.load(std::memory_order_relaxed);
   return stats;
 }
 
 Status Node::Purge() {
+  if (fault_env_ != nullptr) fault_env_->ClearCrashed(data_dir_);
+  std::unique_lock<std::shared_mutex> lock(lifecycle_mu_);
   store_.reset();
   IOTDB_RETURN_NOT_OK(storage::KVStore::Destroy(options_, data_dir_));
   IOTDB_ASSIGN_OR_RETURN(store_, storage::KVStore::Open(options_, data_dir_));
+  crashed_.store(false, std::memory_order_release);
+  down_.store(false, std::memory_order_release);
   writes_ = 0;
   primary_writes_ = 0;
   reads_ = 0;
   scans_ = 0;
   scan_rows_read_ = 0;
   bytes_written_ = 0;
+  skipped_replica_writes_ = 0;
   return Status::OK();
 }
 

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_env.h"
 #include "storage/kvstore.h"
 
 namespace iotdb {
@@ -21,21 +23,57 @@ struct NodeStats {
   uint64_t scans = 0;
   uint64_t scan_rows_read = 0;
   uint64_t bytes_written = 0;
+  /// Replica writes that could not be applied because this node was down;
+  /// the cluster records them as hints instead of silently dropping them.
+  uint64_t skipped_replica_writes = 0;
 };
 
 /// One gateway node: a region server wrapping a private KVStore instance.
-/// All member functions are thread-safe.
+/// All member functions are thread-safe. Lifecycle transitions (Crash,
+/// Restart, Purge) serialise against in-flight operations with a
+/// reader/writer lock.
 class Node {
  public:
-  static Result<std::unique_ptr<Node>> Start(int id,
-                                             const storage::Options& options,
-                                             const std::string& data_dir);
+  /// `fault_env` (optional, not owned) enables realistic crash simulation:
+  /// Crash() uses it to discard every byte the store had not yet synced.
+  static Result<std::unique_ptr<Node>> Start(
+      int id, const storage::Options& options, const std::string& data_dir,
+      storage::FaultInjectionEnv* fault_env = nullptr);
 
   int id() const { return id_; }
+  const std::string& data_dir() const { return data_dir_; }
+
   bool is_down() const { return down_.load(std::memory_order_acquire); }
+
+  /// Liveness toggle for tests: marks the node unreachable without touching
+  /// its store. Real failure scenarios go through Crash()/Restart(), which
+  /// also lose/recover state.
   void SetDown(bool down) { down_.store(down, std::memory_order_release); }
 
+  /// True while the store is open (false between Crash() and Restart()).
+  bool is_running() const;
+
+  /// True when the node went down via Crash(): acknowledged-but-unsynced
+  /// writes died with it, so rejoin needs replica catch-up beyond hint
+  /// replay. Cleared by the cluster after recovery completes.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  void ClearCrashed() { crashed_.store(false, std::memory_order_release); }
+
+  /// Direct store access for tests and cluster-internal recovery. The
+  /// caller must know the node is not concurrently crashing/restarting.
   storage::KVStore* store() { return store_.get(); }
+
+  /// Simulated abrupt process crash: marks the node down, tears the store
+  /// down without an orderly shutdown and — when a fault env is attached —
+  /// drops all data the store had not yet Sync()ed (including torn WAL
+  /// tails). Without a fault env this degrades to an orderly stop (the
+  /// backing env keeps everything that was appended). Idempotent.
+  Status Crash();
+
+  /// Reopens the store through the normal KVStore::Open recovery path (WAL
+  /// replay + manifest load). The node stays marked down; the cluster
+  /// flips it up once replica catch-up has converged.
+  Status Restart();
 
   /// Applies a replicated write batch. `as_primary` only affects counters.
   Status ApplyBatch(storage::WriteBatch* batch, bool as_primary,
@@ -46,19 +84,34 @@ class Node {
   Status Scan(const Slice& start, const Slice& end_exclusive, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
 
+  /// Counts replica writes skipped because this node was down (recorded as
+  /// hints by the cluster).
+  void CountSkippedReplicaWrites(uint64_t kvps) {
+    skipped_replica_writes_.fetch_add(kvps, std::memory_order_relaxed);
+  }
+
   NodeStats GetStats() const;
 
-  /// Drops all data and reopens the store (TPCx-IoT system cleanup).
+  /// Drops all data and reopens the store (TPCx-IoT system cleanup). Also
+  /// recovers a crashed node into a clean, live state.
   Status Purge();
 
  private:
-  Node(int id, const storage::Options& options, std::string data_dir);
+  Node(int id, const storage::Options& options, std::string data_dir,
+       storage::FaultInjectionEnv* fault_env);
+
+  Status NotRunningError() const;
 
   const int id_;
   storage::Options options_;
   const std::string data_dir_;
+  storage::FaultInjectionEnv* const fault_env_;  // may be null
+
+  /// Shared: normal operations. Exclusive: store open/close transitions.
+  mutable std::shared_mutex lifecycle_mu_;
   std::unique_ptr<storage::KVStore> store_;
   std::atomic<bool> down_{false};
+  std::atomic<bool> crashed_{false};
 
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> primary_writes_{0};
@@ -66,6 +119,7 @@ class Node {
   std::atomic<uint64_t> scans_{0};
   std::atomic<uint64_t> scan_rows_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> skipped_replica_writes_{0};
 };
 
 }  // namespace cluster

@@ -16,6 +16,31 @@ namespace cluster {
 /// key touch a single node. TPCx-IoT shards by (substation, sensor) prefix.
 using ShardKeyFn = std::function<Slice(const Slice&)>;
 
+/// Client-side retry behaviour: bounded exponential backoff with jitter and
+/// a per-operation deadline. Retries apply to transient failures (IOError,
+/// Busy, TimedOut); permanently-down replicas are handled by degraded-mode
+/// writes and read failover instead.
+struct RetryPolicy {
+  /// Total attempts (first try included). <= 1 disables retries.
+  int max_attempts = 3;
+
+  /// Backoff before the first retry; doubles (see multiplier) per attempt.
+  uint64_t initial_backoff_micros = 200;
+
+  /// Upper bound on a single backoff sleep.
+  uint64_t max_backoff_micros = 50'000;
+
+  double backoff_multiplier = 2.0;
+
+  /// Fraction of the backoff randomised away (0 = deterministic, 1 = the
+  /// sleep is uniform in [0, backoff]). Decorrelates competing clients.
+  double jitter = 0.5;
+
+  /// Overall wall-clock budget for one client operation, retries and
+  /// backoff sleeps included. 0 = no deadline.
+  uint64_t op_deadline_micros = 0;
+};
+
 /// Configuration of an in-process gateway cluster.
 struct ClusterOptions {
   /// Number of gateway nodes (the paper evaluates 2, 4, and 8).
@@ -35,6 +60,20 @@ struct ClusterOptions {
 
   /// Shard key extractor; defaults to the whole key.
   ShardKeyFn shard_key_fn;
+
+  /// Client retry/deadline behaviour for Put/Get/Scan.
+  RetryPolicy retry_policy;
+
+  /// Hinted handoff: writes destined for a down replica are buffered (up to
+  /// this many kvps per node) and replayed when the node rejoins. Overflow
+  /// falls back to a full shard re-copy from a live replica at restart.
+  uint64_t max_hints_per_node = 1 << 16;
+
+  /// Wraps every node's env in a shared FaultInjectionEnv (seeded with
+  /// fault_seed) so the harness can inject IO errors and simulate node
+  /// crashes. Off by default: production runs pay no decoration cost.
+  bool enable_fault_injection = false;
+  uint64_t fault_seed = 0;
 };
 
 }  // namespace cluster

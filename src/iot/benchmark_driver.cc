@@ -1,6 +1,8 @@
 #include "iot/benchmark_driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
@@ -66,15 +68,27 @@ BenchmarkDriver::BenchmarkDriver(const BenchmarkConfig& config,
     : config_(config), cluster_(cluster) {}
 
 WorkloadExecution BenchmarkDriver::ExecuteWorkload() {
+  return ExecuteWorkloadInternal(/*with_faults=*/true);
+}
+
+WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   WorkloadExecution execution;
   const int p = config_.num_driver_instances;
 
   ycsb::ClusterDB db(cluster_);
   Clock* clock = Clock::Real();
 
+  const cluster::FaultRecoveryStats faults_before =
+      cluster_->GetFaultRecoveryStats();
+  const bool fault_armed = with_faults && config_.fault_kill_node >= 0 &&
+                           config_.fault_kill_node < cluster_->num_nodes();
+
   std::vector<DriverResult> results(p);
   std::vector<std::thread> threads;
   threads.reserve(p);
+
+  std::atomic<bool> drivers_done{false};
+  std::thread fault_monitor;
 
   execution.metrics.ts_start_micros = clock->NowMicros();
   for (int i = 0; i < p; ++i) {
@@ -90,8 +104,78 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkload() {
       results[i] = driver.Run();
     });
   }
+
+  if (fault_armed) {
+    // The acknowledged-ingest thresholds are measured in primary kvps since
+    // the start of this execution; the monitor polls the counter rather
+    // than hooking the hot write path.
+    fault_monitor = std::thread([this, &drivers_done]() {
+      const int victim = config_.fault_kill_node;
+      const uint64_t base = cluster_->GetAggregateStats().primary_writes;
+      bool killed = false;
+      bool restarted = false;
+      uint64_t killed_at_acked = 0;
+      while (!drivers_done.load(std::memory_order_acquire)) {
+        uint64_t acked = cluster_->GetAggregateStats().primary_writes - base;
+        if (!killed && acked >= config_.fault_at_ops) {
+          IOTDB_LOG(Info) << "fault schedule: crashing node " << victim
+                          << " at " << acked << " acked kvps";
+          Status s = cluster_->CrashNode(victim);
+          if (!s.ok()) {
+            IOTDB_LOG(Warn) << "fault schedule: crash failed: "
+                            << s.ToString();
+            return;
+          }
+          killed = true;
+          killed_at_acked = acked;
+        }
+        if (killed && config_.fault_restart_after_ops > 0 &&
+            acked >= killed_at_acked + config_.fault_restart_after_ops) {
+          IOTDB_LOG(Info) << "fault schedule: restarting node " << victim
+                          << " at " << acked << " acked kvps";
+          Status s = cluster_->RestartNode(victim);
+          if (!s.ok()) {
+            IOTDB_LOG(Warn) << "fault schedule: restart failed: "
+                            << s.ToString();
+          }
+          restarted = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Never leave the node down past the execution: the data check and
+      // the next iteration expect a whole cluster.
+      if (killed && !restarted) {
+        IOTDB_LOG(Info) << "fault schedule: restarting node " << victim
+                        << " at end of execution";
+        Status s = cluster_->RestartNode(victim);
+        if (!s.ok()) {
+          IOTDB_LOG(Warn) << "fault schedule: restart failed: "
+                          << s.ToString();
+        }
+      }
+    });
+  }
+
   for (auto& thread : threads) thread.join();
+  drivers_done.store(true, std::memory_order_release);
+  if (fault_monitor.joinable()) fault_monitor.join();
   execution.metrics.ts_end_micros = clock->NowMicros();
+
+  const cluster::FaultRecoveryStats faults_after =
+      cluster_->GetFaultRecoveryStats();
+  execution.faults.node_crashes =
+      faults_after.node_crashes - faults_before.node_crashes;
+  execution.faults.node_restarts =
+      faults_after.node_restarts - faults_before.node_restarts;
+  execution.faults.hinted_kvps =
+      faults_after.hinted_kvps - faults_before.hinted_kvps;
+  execution.faults.hint_replayed_kvps =
+      faults_after.hint_replayed_kvps - faults_before.hint_replayed_kvps;
+  execution.faults.hint_overflows =
+      faults_after.hint_overflows - faults_before.hint_overflows;
+  execution.faults.recopied_kvps =
+      faults_after.recopied_kvps - faults_before.recopied_kvps;
 
   execution.drivers = std::move(results);
   for (const auto& driver : execution.drivers) {
@@ -126,6 +210,17 @@ BenchmarkResult BenchmarkDriver::Run() {
     result.invalid_reason = "replication check failed";
     return result;
   }
+
+  // A fault schedule naming a node the SUT does not have would silently
+  // never fire; reject it up front instead.
+  if (config_.fault_kill_node >= cluster_->num_nodes()) {
+    result.status = Status::InvalidArgument(
+        "fault.kill_node=" + std::to_string(config_.fault_kill_node) +
+        " but the SUT has " + std::to_string(cluster_->num_nodes()) +
+        " nodes");
+    result.invalid_reason = "invalid fault schedule";
+    return result;
+  }
   // The probe rows must not count towards the benchmark data.
   Status purge = cluster_->PurgeAll();
   if (!purge.ok()) {
@@ -139,7 +234,7 @@ BenchmarkResult BenchmarkDriver::Run() {
 
     if (!config_.skip_warmup) {
       IOTDB_LOG(Info) << "iteration " << (iteration + 1) << ": warmup run";
-      iter.warmup = ExecuteWorkload();
+      iter.warmup = ExecuteWorkloadInternal(/*with_faults=*/false);
       if (!iter.warmup.status.ok()) {
         result.status = iter.warmup.status;
         result.invalid_reason = "warmup execution failed";
@@ -148,7 +243,7 @@ BenchmarkResult BenchmarkDriver::Run() {
     }
 
     IOTDB_LOG(Info) << "iteration " << (iteration + 1) << ": measured run";
-    iter.measured = ExecuteWorkload();
+    iter.measured = ExecuteWorkloadInternal(/*with_faults=*/true);
     if (!iter.measured.status.ok()) {
       result.status = iter.measured.status;
       result.invalid_reason = "measured execution failed";

@@ -52,6 +52,16 @@ struct BenchmarkConfig {
   /// Kit files verified by the prerequisite file check.
   std::vector<KitFile> kit_files;
   storage::Env* kit_env = nullptr;  // env holding kit files
+
+  /// Fault schedule, applied to measured executions only (warmups run
+  /// clean). When fault_kill_node >= 0 the driver crashes that node once
+  /// the cluster has acknowledged fault_at_ops primary kvps, and restarts
+  /// it fault_restart_after_ops acknowledged kvps later (0 = at the end of
+  /// the execution). A node that is still down when the drivers finish is
+  /// always restarted so the data check sees a whole cluster.
+  int fault_kill_node = -1;
+  uint64_t fault_at_ops = 0;
+  uint64_t fault_restart_after_ops = 0;
 };
 
 /// One workload execution (warmup or measured): per-driver outcomes plus
@@ -60,6 +70,9 @@ struct WorkloadExecution {
   Status status;
   RunMetrics metrics;
   std::vector<DriverResult> drivers;
+  /// Fault-recovery activity during this execution (crashes, restarts,
+  /// hinted/replayed/re-copied kvps). All zero for a clean run.
+  cluster::FaultRecoveryStats faults;
 
   uint64_t TotalQueries() const;
   uint64_t TotalQueryRows() const;
@@ -112,9 +125,12 @@ class BenchmarkDriver {
   BenchmarkResult Run();
 
   /// Runs a single workload execution (exposed for tests and examples).
+  /// Applies the configured fault schedule, like a measured run.
   WorkloadExecution ExecuteWorkload();
 
  private:
+  WorkloadExecution ExecuteWorkloadInternal(bool with_faults);
+
   BenchmarkConfig config_;
   cluster::Cluster* cluster_;
 };

@@ -10,7 +10,8 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
       "driver_instances",     "total_kvps",         "batch_size",
       "seed",                 "min_run_seconds",    "min_per_sensor_rate",
       "min_rows_per_query",   "enforce_query_rows", "skip_warmup",
-      "repeatability_tolerance"};
+      "repeatability_tolerance",
+      "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops"};
   for (const auto& [key, value] : props.map()) {
     if (kKnownKeys.count(key) == 0) {
       return Status::InvalidArgument("unknown benchmark property: " + key);
@@ -41,6 +42,26 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
                          props.GetBool("skip_warmup", false));
   IOTDB_ASSIGN_OR_RETURN(config.repeatability_tolerance,
                          props.GetDouble("repeatability_tolerance", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t fault_kill_node,
+                         props.GetInt("fault.kill_node", -1));
+  IOTDB_ASSIGN_OR_RETURN(int64_t fault_at_ops,
+                         props.GetInt("fault.at_ops", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t fault_restart_after_ops,
+                         props.GetInt("fault.restart_after_ops", 0));
+
+  if (fault_at_ops < 0 || fault_restart_after_ops < 0) {
+    return Status::InvalidArgument(
+        "fault.at_ops and fault.restart_after_ops must be >= 0");
+  }
+  if (fault_kill_node < 0 &&
+      (fault_at_ops > 0 || fault_restart_after_ops > 0)) {
+    return Status::InvalidArgument(
+        "fault.at_ops/fault.restart_after_ops require fault.kill_node");
+  }
+  config.fault_kill_node = static_cast<int>(fault_kill_node);
+  config.fault_at_ops = static_cast<uint64_t>(fault_at_ops);
+  config.fault_restart_after_ops =
+      static_cast<uint64_t>(fault_restart_after_ops);
 
   if (instances < 1) {
     return Status::InvalidArgument("driver_instances must be >= 1");
@@ -73,6 +94,12 @@ Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
   props.Set("enforce_query_rows",
             config.enforce_query_rows ? "true" : "false");
   props.Set("skip_warmup", config.skip_warmup ? "true" : "false");
+  if (config.fault_kill_node >= 0) {
+    props.Set("fault.kill_node", std::to_string(config.fault_kill_node));
+    props.Set("fault.at_ops", std::to_string(config.fault_at_ops));
+    props.Set("fault.restart_after_ops",
+              std::to_string(config.fault_restart_after_ops));
+  }
   return props;
 }
 

@@ -20,6 +20,10 @@ namespace iot {
 ///   min_rows_per_query    (200)
 ///   enforce_query_rows    (false)
 ///   skip_warmup           (false)
+///   fault.kill_node       (-1)     node crashed during measured runs
+///   fault.at_ops          (0)      acked kvps before the crash
+///   fault.restart_after_ops (0)    acked kvps from crash to restart
+///                                  (0 = restart at end of execution)
 ///
 /// Unknown keys are rejected so typos in sponsor configs surface instead
 /// of silently using defaults (the FDR must disclose every tunable).

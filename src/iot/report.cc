@@ -99,6 +99,21 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
                  static_cast<double>(queries.max()) / 1000.0,
                  iter.measured.AvgRowsPerQuery());
     }
+    const cluster::FaultRecoveryStats& faults = iter.measured.faults;
+    if (faults.node_crashes + faults.node_restarts + faults.hinted_kvps +
+            faults.recopied_kvps >
+        0) {
+      AppendLine(&out,
+                 "  Faults:   %llu node crashes, %llu restarts, "
+                 "%llu hinted kvps (%llu replayed, %llu overflows), "
+                 "%llu re-copied kvps",
+                 static_cast<unsigned long long>(faults.node_crashes),
+                 static_cast<unsigned long long>(faults.node_restarts),
+                 static_cast<unsigned long long>(faults.hinted_kvps),
+                 static_cast<unsigned long long>(faults.hint_replayed_kvps),
+                 static_cast<unsigned long long>(faults.hint_overflows),
+                 static_cast<unsigned long long>(faults.recopied_kvps));
+    }
     AppendCheck(&out, iter.data_check);
   }
 

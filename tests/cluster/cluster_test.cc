@@ -82,11 +82,28 @@ TEST(ClusterTest, GetFailsOverWhenPrimaryDown) {
   cluster->node(primary)->SetDown(false);
 }
 
-TEST(ClusterTest, WritesToDownNodeFail) {
+TEST(ClusterTest, WritesToDownReplicaSucceedDegraded) {
   auto cluster = Cluster::Start(SmallClusterOptions(3)).MoveValueUnsafe();
   Client client(cluster.get());
-  cluster->node(cluster->PrimaryNodeFor("k"))->SetDown(true);
-  EXPECT_FALSE(client.Put("k", "v").ok());
+  int primary = cluster->PrimaryNodeFor("k");
+  cluster->node(primary)->SetDown(true);
+
+  // One of three replicas is down: the write succeeds in degraded mode and
+  // the missed replica write is buffered as a hint.
+  EXPECT_TRUE(client.Put("k", "v").ok());
+  EXPECT_EQ(cluster->GetFaultRecoveryStats().hinted_kvps, 1u);
+  EXPECT_EQ(cluster->GetNodeStats(primary).skipped_replica_writes, 1u);
+  EXPECT_EQ(client.Get("k").ValueOrDie(), "v");
+  EXPECT_NE(cluster->Describe().find("skipped"), std::string::npos);
+
+  // All replicas down: nothing can acknowledge the write.
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    cluster->node(n)->SetDown(true);
+  }
+  EXPECT_FALSE(client.Put("k2", "v").ok());
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    cluster->node(n)->SetDown(false);
+  }
 }
 
 TEST(ClusterTest, BatchedPutGroupsByPrimary) {

@@ -227,6 +227,58 @@ TEST(BenchmarkDriverTest, FullRunEndToEnd) {
   EXPECT_EQ(sut->GetAggregateStats().primary_writes, 0u);
 }
 
+TEST(BenchmarkDriverTest, FaultScheduleKillsAndRecoversANode) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication_factor = 3;
+  options.shard_key_fn = TpcxIotShardKey;
+  options.storage_options.write_buffer_size = 256 * 1024;
+  options.enable_fault_injection = true;
+  options.fault_seed = 11;
+  auto sut = cluster::Cluster::Start(options).MoveValueUnsafe();
+
+  BenchmarkConfig config;
+  config.num_driver_instances = 2;
+  config.total_kvps = 20000;
+  config.batch_size = 200;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_kill_node = 1;
+  config.fault_at_ops = 2000;
+  config.fault_restart_after_ops = 5000;
+
+  BenchmarkDriver driver(config, sut.get());
+  WorkloadExecution execution = driver.ExecuteWorkload();
+  ASSERT_TRUE(execution.status.ok()) << execution.status.ToString();
+  EXPECT_EQ(execution.metrics.kvps_ingested, 20000u);
+  EXPECT_EQ(execution.faults.node_crashes, 1u);
+  EXPECT_EQ(execution.faults.node_restarts, 1u);
+
+  // The victim rejoined and converged: with rf == nodes every node holds
+  // every key, so the restarted node's shard data equals its replicas'.
+  EXPECT_FALSE(sut->node(1)->is_down());
+  ASSERT_TRUE(sut->FlushAll().ok());
+  uint64_t restarted = sut->node(1)->store()->CountKeysSlow();
+  uint64_t replica = sut->node(0)->store()->CountKeysSlow();
+  EXPECT_EQ(restarted, replica);
+  EXPECT_GT(restarted, 0u);
+}
+
+TEST(BenchmarkDriverTest, RejectsFaultScheduleForMissingNode) {
+  auto sut = MakeSut(3);
+  BenchmarkConfig config;
+  config.num_driver_instances = 1;
+  config.total_kvps = 1000;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_kill_node = 99;  // the SUT has nodes 0..2
+  config.fault_at_ops = 100;
+  BenchmarkDriver driver(config, sut.get());
+  BenchmarkResult result = driver.Run();
+  EXPECT_TRUE(result.status.IsInvalidArgument()) << result.status.ToString();
+  EXPECT_EQ(result.invalid_reason, "invalid fault schedule");
+}
+
 TEST(BenchmarkDriverTest, AbortsOnFailedFileCheck) {
   auto sut = MakeSut(3);
   auto kit_env = storage::NewMemEnv();

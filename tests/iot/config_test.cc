@@ -78,6 +78,48 @@ TEST(BenchmarkConfigTest, RoundTripsThroughProperties) {
   EXPECT_TRUE(restored.ValueOrDie().skip_warmup);
 }
 
+TEST(BenchmarkConfigTest, ParsesFaultSchedule) {
+  Properties props;
+  ASSERT_TRUE(props
+                  .ParseText("fault.kill_node=1\n"
+                             "fault.at_ops=5000\n"
+                             "fault.restart_after_ops=2000\n")
+                  .ok());
+  auto result = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().fault_kill_node, 1);
+  EXPECT_EQ(result.ValueOrDie().fault_at_ops, 5000u);
+  EXPECT_EQ(result.ValueOrDie().fault_restart_after_ops, 2000u);
+
+  // Defaults: no fault schedule.
+  Properties empty;
+  EXPECT_EQ(LoadBenchmarkConfig(empty).ValueOrDie().fault_kill_node, -1);
+}
+
+TEST(BenchmarkConfigTest, FaultScheduleValidated) {
+  Properties orphan_threshold;
+  orphan_threshold.Set("fault.at_ops", "100");  // no fault.kill_node
+  EXPECT_TRUE(
+      LoadBenchmarkConfig(orphan_threshold).status().IsInvalidArgument());
+
+  Properties negative;
+  negative.Set("fault.kill_node", "0");
+  negative.Set("fault.at_ops", "-5");
+  EXPECT_FALSE(LoadBenchmarkConfig(negative).ok());
+}
+
+TEST(BenchmarkConfigTest, FaultScheduleRoundTrips) {
+  BenchmarkConfig config;
+  config.fault_kill_node = 2;
+  config.fault_at_ops = 1000;
+  config.fault_restart_after_ops = 500;
+  auto restored = LoadBenchmarkConfig(BenchmarkConfigToProperties(config));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie().fault_kill_node, 2);
+  EXPECT_EQ(restored.ValueOrDie().fault_at_ops, 1000u);
+  EXPECT_EQ(restored.ValueOrDie().fault_restart_after_ops, 500u);
+}
+
 TEST(ReportFilesTest, WritesBothArtifacts) {
   auto env = storage::NewMemEnv();
   BenchmarkResult result;

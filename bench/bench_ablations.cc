@@ -126,5 +126,6 @@ int main(int argc, char** argv) {
   AblateFanout(scale);
   AblateStalls(scale);
   AblatePlacement(scale);
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

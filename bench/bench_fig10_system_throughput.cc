@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
                          "(8 nodes)",
                          "TPCx-IoT paper Fig. 10");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   double base = results.empty() ? 0 : results[0].SystemIoTps();
 
   printf("%12s %16s %10s %s\n", "substations", "IoTps", "S_i", "regime");
@@ -25,5 +25,6 @@ int main(int argc, char** argv) {
   }
   printf("\nPaper reference: S_2=2.8, S_4=5.5, S_8=8.6 (super-linear), "
          "S_16=13.7, S_32=19.0, S_48=18.6 (sub-linear).\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

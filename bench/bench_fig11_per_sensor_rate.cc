@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
                          "(8 nodes, floor = 20 kvps/s)",
                          "TPCx-IoT paper Fig. 11");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   printf("%12s %16s %10s\n", "substations", "per-sensor", "valid?");
   for (const auto& r : results) {
     printf("%12d %16.1f %10s\n", r.config.substations, r.PerSensorIoTps(),
@@ -19,5 +19,6 @@ int main(int argc, char** argv) {
   }
   printf("\nPaper reference: 49.0, 67.5, 71.0, 52.9, 41.9, 29.1, 19.0 -- "
          "the floor is crossed at 48 substations.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

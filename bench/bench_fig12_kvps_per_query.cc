@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
                          "floor = 200)",
                          "TPCx-IoT paper Fig. 12");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   printf("%12s %18s %10s\n", "substations", "avg rows/query", "valid?");
   for (const auto& r : results) {
     double rows = r.measured.avg_rows_per_query;
@@ -20,5 +20,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape: tracks Figure 11 times 10 (two 5-second windows), "
          "dropping below 200 only at 48 substations.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   benchutil::PrintHeader("Figure 13: average query elapsed time (8 nodes)",
                          "TPCx-IoT paper Fig. 13");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   printf("%12s %16s\n", "substations", "avg query [ms]");
   for (const auto& r : results) {
     printf("%12d %16.1f\n", r.config.substations,
@@ -18,5 +18,6 @@ int main(int argc, char** argv) {
   printf("\nPaper reference: 11.8-14.4 ms up to 8 substations, 33.1 ms at "
          "16, easing to 29.1 (32) and 25.4 (48) as the shrinking "
          "per-sensor rate makes the scans cheaper.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   benchutil::PrintHeader("Figure 14: query latency variation (8 nodes)",
                          "TPCx-IoT paper Fig. 14");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   printf("%12s %10s %10s %10s %10s %8s\n", "substations", "min[ms]",
          "avg[ms]", "p95[ms]", "max[ms]", "CoV");
   for (const auto& r : results) {
@@ -21,5 +21,6 @@ int main(int argc, char** argv) {
   printf("\nPaper reference: min/avg in low double-digit ms; max exceeds "
          "1000 ms from 4 substations on; CoV > 1 for every run; p95 below "
          "25 ms up to 16 substations, 185 ms at 32, 143 ms at 48.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
                          "spread (8 nodes)",
                          "TPCx-IoT paper Fig. 15, Table II");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
   printf("%12s %10s %10s %10s %10s %10s\n", "substations", "min[s]",
          "max[s]", "avg[s]", "diff[s]", "diff[%]");
   for (const auto& r : results) {
@@ -25,5 +25,6 @@ int main(int argc, char** argv) {
   printf("\nPaper reference (relative gap): 0%%, 5%%, 13%%, 12%%, 14%%, "
          "37%%, 81%% -- hash placement plus queueing amplification near "
          "saturation.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

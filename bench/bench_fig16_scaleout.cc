@@ -12,9 +12,9 @@ int main(int argc, char** argv) {
       "Figure 16 / Table III: scale-out across 2, 4, 8 gateway nodes",
       "TPCx-IoT paper Fig. 16, Table III");
 
-  auto n2 = benchutil::Sweep(2, args.scale);
-  auto n4 = benchutil::Sweep(4, args.scale);
-  auto n8 = benchutil::Sweep(8, args.scale);
+  auto n2 = benchutil::Sweep(2, args);
+  auto n4 = benchutil::Sweep(4, args);
+  auto n8 = benchutil::Sweep(8, args);
 
   printf("%12s | %12s %12s %12s | %10s %10s %10s\n", "substations",
          "2-node", "4-node", "8-node", "2n/sensor", "4n/sensor",
@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
   printf("Shape checks: 2-node wins at 1 substation; 8-node delivers the\n"
          "highest peak; 4-node crosses 2-node between 8 and 16 "
          "substations.\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

@@ -5,24 +5,30 @@
 // point is that the entire code path the paper describes executes natively
 // end to end, not just in the calibrated model.
 //
-//   --kvps=N   total kvps per run (default 40000)
-//   --subs=N   substations (default 2)
+//   --kvps=N           total kvps per run (default 40000)
+//   --subs=N           substations (default 2)
+//   --metrics-out=FILE obs registry snapshot (JSON) across all runs
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "iot/benchmark_driver.h"
+#include "obs/metrics.h"
 
 using namespace iotdb;  // NOLINT — bench brevity
 
 int main(int argc, char** argv) {
   uint64_t total_kvps = 40000;
   int substations = 2;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--kvps=", 7) == 0) {
       total_kvps = strtoull(argv[i] + 7, nullptr, 10);
     } else if (strncmp(argv[i], "--subs=", 7) == 0) {
       substations = atoi(argv[i] + 7);
+    } else if (strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     }
   }
 
@@ -71,5 +77,18 @@ int main(int argc, char** argv) {
   printf("\nNote: single-host numbers; replication work scales with "
          "min(3, nodes), so more nodes = more total writes on one "
          "machine.\n");
+  if (!metrics_out.empty()) {
+    std::string json =
+        obs::MetricsRegistry::Global().TakeSnapshot().ToJson();
+    FILE* f = fopen(metrics_out.c_str(), "w");
+    if (f != nullptr) {
+      fwrite(json.data(), 1, json.size(), f);
+      fclose(f);
+      printf("metrics snapshot written to %s (%zu bytes)\n",
+             metrics_out.c_str(), json.size());
+    } else {
+      fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

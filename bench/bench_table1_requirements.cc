@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
                          "Fulfillment (8 nodes)",
                          "TPCx-IoT paper Table I");
 
-  auto results = benchutil::Sweep(8, args.scale);
+  auto results = benchutil::Sweep(8, args);
 
   printf("%12s %14s %12s %12s %14s %12s | %s\n", "substations",
          "rows[million]", "warmup[s]", "measured[s]", "sys[kvps/s]",
@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
          "8->84602, 16->133940, 32->186109, 48->182815 kvps/s;\n"
          "per-sensor 49.0, 67.5, 71.0, 52.9, 41.9, 29.1, 19.0 "
          "(floor 20 crossed at 48 substations).\n");
+  benchutil::MaybeWriteMetrics(args);
   return 0;
 }

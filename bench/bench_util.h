@@ -9,15 +9,21 @@
 #include <vector>
 
 #include "iot/experiments.h"
+#include "obs/metrics.h"
 
 namespace benchutil {
 
 /// Common command line for the figure benches:
-///   --scale=N   divide kvp counts and the run-time floors by N for quick
-///               runs (curve shapes preserved). Default 1 = paper scale.
-///   --full      alias for --scale=1.
+///   --scale=N            divide kvp counts and the run-time floors by N
+///                        for quick runs (curve shapes preserved).
+///                        Default 1 = paper scale.
+///   --full               alias for --scale=1.
+///   --metrics-out=FILE   write an obs registry snapshot (JSON) of the
+///                        bench's runs to FILE. Disables the sweep result
+///                        cache, since cached runs produce no metrics.
 struct Args {
   uint64_t scale = 1;
+  std::string metrics_out;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -30,6 +36,8 @@ inline Args ParseArgs(int argc, char** argv) {
     } else if (strncmp(argv[i], "--scale=", 8) == 0) {
       args.scale = strtoull(argv[i] + 8, nullptr, 10);
       if (args.scale == 0) args.scale = 1;
+    } else if (strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      args.metrics_out = argv[i] + 14;
     }
   }
   return args;
@@ -45,6 +53,35 @@ inline std::string CachePath(int nodes, uint64_t scale) {
 inline std::vector<iotdb::iot::ExperimentResult> Sweep(int nodes,
                                                        uint64_t scale) {
   return iotdb::iot::SweepCached(nodes, scale, CachePath(nodes, scale));
+}
+
+/// Sweep honouring --metrics-out: a metrics run bypasses the result cache
+/// (a cache hit would skip the instrumented execution and leave the
+/// snapshot empty).
+inline std::vector<iotdb::iot::ExperimentResult> Sweep(int nodes,
+                                                       const Args& args) {
+  if (!args.metrics_out.empty()) {
+    return iotdb::iot::RunSubstationSweep(nodes, args.scale);
+  }
+  return Sweep(nodes, args.scale);
+}
+
+/// Writes the global registry snapshot to --metrics-out (no-op when the
+/// flag is absent). Call once at the end of main.
+inline void MaybeWriteMetrics(const Args& args) {
+  if (args.metrics_out.empty()) return;
+  std::string json = iotdb::obs::MetricsRegistry::Global()
+                         .TakeSnapshot()
+                         .ToJson();
+  FILE* f = fopen(args.metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+    return;
+  }
+  fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  printf("\nmetrics snapshot written to %s (%zu bytes)\n",
+         args.metrics_out.c_str(), json.size());
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

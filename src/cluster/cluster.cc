@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "storage/bloom.h"  // reuse BloomHash as the shard hash
 
 namespace iotdb {
@@ -14,6 +16,32 @@ namespace {
 
 // Rows per batch when catching a restarted node up via full shard re-copy.
 constexpr size_t kRecopyBatchRows = 512;
+
+/// Global `cluster.*` registry instruments, resolved once. Shared by every
+/// Cluster/Client in the process (mirrors the per-cluster FaultRecoveryStats
+/// and NodeStats, which stay exact and per-instance).
+struct ClusterInstruments {
+  obs::LatencyHistogram* fanout_micros;
+  obs::Gauge* hint_queue_depth;
+  obs::Counter* hints_recorded_kvps;
+  obs::Counter* hints_replayed_kvps;
+  obs::Counter* retry_attempts;
+  obs::Counter* degraded_batches;
+};
+
+ClusterInstruments& Instruments() {
+  static ClusterInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return ClusterInstruments{
+        registry.GetHistogram("cluster.replication.fanout_micros"),
+        registry.GetGauge("cluster.hints.queue_depth"),
+        registry.GetCounter("cluster.hints.recorded_kvps"),
+        registry.GetCounter("cluster.hints.replayed_kvps"),
+        registry.GetCounter("cluster.retry.attempts"),
+        registry.GetCounter("cluster.write.degraded_batches")};
+  }();
+  return instruments;
+}
 
 }  // namespace
 
@@ -117,6 +145,7 @@ Status Cluster::RestartNode(int id) {
     if (recopy) {
       hints_[id].rows.clear();
       hints_[id].overflowed = false;
+      UpdateHintDepthGaugeLocked();
     }
   }
   if (recopy) IOTDB_RETURN_NOT_OK(RecopyShards(id));
@@ -136,6 +165,7 @@ Status Cluster::RestartNode(int id) {
         return Status::OK();
       }
       pending.swap(hints_[id].rows);
+      UpdateHintDepthGaugeLocked();
     }
     storage::WriteBatch batch;
     for (const auto& [key, value] : pending) {
@@ -148,7 +178,19 @@ Status Cluster::RestartNode(int id) {
         node->store()->Write(storage::WriteOptions(), &batch));
     std::lock_guard<std::mutex> lock(hints_mu_);
     fault_stats_.hint_replayed_kvps += pending.size();
+    if (obs::Enabled()) {
+      Instruments().hints_replayed_kvps->Add(pending.size());
+    }
   }
+}
+
+void Cluster::UpdateHintDepthGaugeLocked() {
+  if (!obs::Enabled()) return;
+  int64_t total = 0;
+  for (const HintBuffer& buf : hints_) {
+    total += static_cast<int64_t>(buf.rows.size());
+  }
+  Instruments().hint_queue_depth->Set(total);
 }
 
 bool Cluster::TryRecordHint(
@@ -159,6 +201,9 @@ bool Cluster::TryRecordHint(
   if (!node->is_down()) return false;  // lost a race with RestartNode
   node->CountSkippedReplicaWrites(rows.size());
   fault_stats_.hinted_kvps += rows.size();
+  if (obs::Enabled()) {
+    Instruments().hints_recorded_kvps->Add(rows.size());
+  }
   HintBuffer& buf = hints_[node_id];
   if (buf.overflowed) return true;  // already due for a full re-copy
   if (buf.rows.size() + rows.size() > options_.max_hints_per_node) {
@@ -166,9 +211,11 @@ bool Cluster::TryRecordHint(
     buf.rows.clear();
     buf.rows.shrink_to_fit();
     fault_stats_.hint_overflows++;
+    UpdateHintDepthGaugeLocked();
     return true;
   }
   buf.rows.insert(buf.rows.end(), rows.begin(), rows.end());
+  UpdateHintDepthGaugeLocked();
   return true;
 }
 
@@ -333,6 +380,7 @@ Status Cluster::PurgeAll() {
     buf.rows.clear();
     buf.overflowed = false;
   }
+  UpdateHintDepthGaugeLocked();
   return Status::OK();
 }
 
@@ -403,6 +451,7 @@ Status Client::RetryOp(const std::function<Status()>& op, Node* node) {
                               std::to_string(attempt) +
                               " attempts: " + s.message());
     }
+    if (obs::Enabled()) Instruments().retry_attempts->Increment();
     clock->SleepMicros(backoff);
   }
 }
@@ -411,11 +460,17 @@ Status Client::WriteShardBatch(
     const std::vector<int>& replicas, const storage::WriteBatch& batch,
     const std::vector<std::pair<std::string, std::string>>& rows,
     uint64_t kvps, uint64_t bytes) {
+  obs::ScopedTimer fanout_timer(Instruments().fanout_micros,
+                                cluster_->clock());
   int applied = 0;
+  bool degraded = false;
   Status first_error;
   for (int node_id : replicas) {
     Node* node = cluster_->node(node_id);
-    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) continue;
+    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) {
+      degraded = true;
+      continue;
+    }
     // WriteBatch sequence numbers are assigned per node store, so each
     // replica gets its own copy of the batch.
     storage::WriteBatch copy;
@@ -432,10 +487,17 @@ Status Client::WriteShardBatch(
     }
     // The node may have gone down mid-write (e.g. crashed under us):
     // degrade to a hint instead of failing the whole operation.
-    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) continue;
+    if (node->is_down() && cluster_->TryRecordHint(node_id, rows)) {
+      degraded = true;
+      continue;
+    }
     if (first_error.ok()) first_error = s;
   }
+  if (degraded && applied > 0 && obs::Enabled()) {
+    Instruments().degraded_batches->Increment();
+  }
   if (applied > 0) return Status::OK();
+  fanout_timer.Cancel();  // failed fan-outs would skew the latency profile
   if (!first_error.ok()) return first_error;
   return Status::IOError("no live replicas for shard");
 }

@@ -135,6 +135,10 @@ class Cluster {
   /// shard (the node itself excluded). Exactly one source copies each key.
   Status RecopyShards(int target_id);
 
+  /// Refreshes the cluster.hints.queue_depth gauge (total buffered hint
+  /// rows across nodes). Caller holds hints_mu_.
+  void UpdateHintDepthGaugeLocked();
+
   ClusterOptions options_;
   std::unique_ptr<storage::Env> owned_env_;
   std::unique_ptr<storage::FaultInjectionEnv> fault_env_;  // may be null

@@ -2,8 +2,36 @@
 
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace iotdb {
 namespace cluster {
+
+namespace {
+
+/// Global per-op counters, aggregated across all nodes (per-node NodeStats
+/// atomics stay exact for Describe()/load-balance math).
+struct NodeInstruments {
+  obs::Counter* writes;
+  obs::Counter* reads;
+  obs::Counter* scans;
+  obs::Counter* scan_rows;
+  obs::Counter* bytes_written;
+};
+
+NodeInstruments& Instruments() {
+  static NodeInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return NodeInstruments{registry.GetCounter("cluster.ops.writes"),
+                           registry.GetCounter("cluster.ops.reads"),
+                           registry.GetCounter("cluster.ops.scans"),
+                           registry.GetCounter("cluster.ops.scan_rows"),
+                           registry.GetCounter("cluster.ops.bytes_written")};
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 Node::Node(int id, const storage::Options& options, std::string data_dir,
            storage::FaultInjectionEnv* fault_env)
@@ -69,6 +97,10 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
   if (as_primary) {
     primary_writes_.fetch_add(kvps, std::memory_order_relaxed);
   }
+  if (obs::Enabled()) {
+    Instruments().writes->Add(kvps);
+    Instruments().bytes_written->Add(bytes);
+  }
   return Status::OK();
 }
 
@@ -76,6 +108,7 @@ Result<std::string> Node::Get(const Slice& key) {
   std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
   if (is_down() || store_ == nullptr) return NotRunningError();
   reads_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) Instruments().reads->Increment();
   return store_->Get(storage::ReadOptions(), key);
 }
 
@@ -89,6 +122,10 @@ Status Node::Scan(const Slice& start, const Slice& end_exclusive,
   IOTDB_RETURN_NOT_OK(
       store_->Scan(storage::ReadOptions(), start, end_exclusive, limit, out));
   scan_rows_read_.fetch_add(out->size() - before, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    Instruments().scans->Increment();
+    Instruments().scan_rows->Add(out->size() - before);
+  }
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "ycsb/bindings.h"
 
 namespace iotdb {
@@ -90,6 +91,10 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   std::atomic<bool> drivers_done{false};
   std::thread fault_monitor;
 
+  const bool observe = obs::Enabled();
+  obs::MetricsSnapshot obs_before;
+  if (observe) obs_before = obs::MetricsRegistry::Global().TakeSnapshot();
+
   execution.metrics.ts_start_micros = clock->NowMicros();
   for (int i = 0; i < p; ++i) {
     DriverOptions options;
@@ -162,6 +167,11 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   if (fault_monitor.joinable()) fault_monitor.join();
   execution.metrics.ts_end_micros = clock->NowMicros();
 
+  if (observe) {
+    execution.obs_delta =
+        obs::MetricsRegistry::Global().TakeSnapshot().DeltaSince(obs_before);
+  }
+
   const cluster::FaultRecoveryStats faults_after =
       cluster_->GetFaultRecoveryStats();
   execution.faults.node_crashes =
@@ -229,6 +239,8 @@ BenchmarkResult BenchmarkDriver::Run() {
   }
 
   // --- Two benchmark iterations ---
+  bool windows_valid = true;
+  std::string window_reason;
   for (int iteration = 0; iteration < 2; ++iteration) {
     IterationResult& iter = result.iterations[iteration];
 
@@ -248,6 +260,17 @@ BenchmarkResult BenchmarkDriver::Run() {
       result.status = iter.measured.status;
       result.invalid_reason = "measured execution failed";
       return result;
+    }
+
+    // A reversed/empty measurement window means the timing itself is
+    // broken; IoTps over it would be meaningless. Flag the run invalid
+    // rather than reporting a fake rate (the FDR prints the check result).
+    Status window = iter.measured.metrics.Validate();
+    if (!window.ok() && windows_valid) {
+      windows_valid = false;
+      window_reason = window.message();
+      IOTDB_LOG(Error) << "iteration " << (iteration + 1) << ": "
+                       << window.ToString();
     }
 
     DataCheckInput check;
@@ -275,9 +298,11 @@ BenchmarkResult BenchmarkDriver::Run() {
   result.performance_run =
       PerformanceRunIndex(result.iterations[0].measured.metrics,
                           result.iterations[1].measured.metrics);
-  result.valid = result.iterations[0].data_check.passed &&
+  result.valid = windows_valid && result.iterations[0].data_check.passed &&
                  result.iterations[1].data_check.passed;
-  if (!result.valid) {
+  if (!windows_valid) {
+    result.invalid_reason = window_reason;
+  } else if (!result.valid) {
     result.invalid_reason =
         !result.iterations[0].data_check.passed
             ? result.iterations[0].data_check.detail

@@ -14,6 +14,7 @@
 #include "iot/metrics.h"
 #include "iot/pricing.h"
 #include "iot/rules.h"
+#include "obs/snapshot.h"
 
 namespace iotdb {
 namespace iot {
@@ -73,6 +74,10 @@ struct WorkloadExecution {
   /// Fault-recovery activity during this execution (crashes, restarts,
   /// hinted/replayed/re-copied kvps). All zero for a clean run.
   cluster::FaultRecoveryStats faults;
+  /// Registry delta over exactly this execution's window — the warm-up
+  /// execution gets its own delta, so measured numbers are not polluted by
+  /// warm-up traffic. Empty when the obs registry is disabled.
+  obs::MetricsSnapshot obs_delta;
 
   uint64_t TotalQueries() const;
   uint64_t TotalQueryRows() const;

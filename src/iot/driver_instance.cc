@@ -3,8 +3,37 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace iotdb {
 namespace iot {
+
+namespace {
+
+/// Global `driver.*` registry instruments, aggregated over all driver
+/// instances (per-driver DriverResult histograms stay exact).
+struct DriverInstruments {
+  obs::LatencyHistogram* insert_batch_micros;
+  obs::LatencyHistogram* query_micros;
+  obs::Counter* ingest_kvps;
+  obs::Counter* query_count;
+  obs::Counter* query_rows;
+};
+
+DriverInstruments& Instruments() {
+  static DriverInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return DriverInstruments{
+        registry.GetHistogram("driver.insert_batch_micros"),
+        registry.GetHistogram("driver.query_micros"),
+        registry.GetCounter("driver.ingest.kvps"),
+        registry.GetCounter("driver.query.count"),
+        registry.GetCounter("driver.query.rows")};
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 DriverInstance::DriverInstance(const DriverOptions& options, ycsb::DB* db)
     : options_(options), db_(db) {
@@ -53,6 +82,10 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
     if (measurements != nullptr) {
       measurements->Record("INSERT_BATCH", insert_elapsed);
     }
+    if (obs::Enabled()) {
+      Instruments().insert_batch_micros->Record(insert_elapsed);
+      Instruments().ingest_kvps->Add(batch.size());
+    }
     result.kvps_ingested += batch.size();
 
     // Five queries for every 10,000 ingested readings, issued concurrently
@@ -70,6 +103,12 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
         result.queries_executed++;
         result.query_rows_read += query_result.ValueOrDie().rows_read;
         result.query_latency_micros.Add(query_elapsed);
+        if (obs::Enabled()) {
+          Instruments().query_micros->Record(query_elapsed);
+          Instruments().query_count->Increment();
+          Instruments().query_rows->Add(
+              query_result.ValueOrDie().rows_read);
+        }
         if (measurements != nullptr) {
           measurements->Record("QUERY", query_elapsed);
         }

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "iot/rules.h"
+#include "obs/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -58,6 +59,41 @@ double ExperimentResult::AvgDriverSeconds() const {
 }
 
 namespace {
+
+/// Registry instruments for the modeled cluster. The simulation reports
+/// under the same `storage.* / cluster.* / driver.*` namespaces as the real
+/// stack (times are simulated microseconds), so per-figure --metrics-out
+/// snapshots carry the same layer breakdown either way.
+struct SimInstruments {
+  obs::LatencyHistogram* wal_batch_kvps;
+  obs::LatencyHistogram* io_service_micros;
+  obs::Counter* write_stalls;
+  obs::Counter* write_stall_micros;
+  obs::Counter* cluster_writes;
+  obs::Counter* cluster_bytes_written;
+  obs::Counter* ingest_kvps;
+  obs::LatencyHistogram* query_micros;
+  obs::Counter* query_count;
+  obs::Counter* query_rows;
+};
+
+SimInstruments& Instruments() {
+  static SimInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return SimInstruments{
+        registry.GetHistogram("storage.wal.group_commit_kvps"),
+        registry.GetHistogram("storage.io.service_micros"),
+        registry.GetCounter("storage.write.stalls"),
+        registry.GetCounter("storage.write.stall_micros"),
+        registry.GetCounter("cluster.ops.writes"),
+        registry.GetCounter("cluster.ops.bytes_written"),
+        registry.GetCounter("driver.ingest.kvps"),
+        registry.GetHistogram("driver.query_micros"),
+        registry.GetCounter("driver.query.count"),
+        registry.GetCounter("driver.query.rows")};
+  }();
+  return instruments;
+}
 
 /// One simulated workload execution on the modeled cluster.
 class GatewayModel {
@@ -238,6 +274,7 @@ class GatewayModel {
   void FinishRound(ClientState* c, uint64_t batch) {
     c->remaining -= batch;
     c->ingested += batch;
+    if (obs::Enabled()) Instruments().ingest_kvps->Add(batch);
     while (c->ingested >= c->next_query_marker) {
       for (uint64_t q = 0; q < Rules::kQueriesPerReadings; ++q) {
         IssueQuery(c);
@@ -259,6 +296,13 @@ class GatewayModel {
                     physical_items * profile_.io_per_kvp_us;
       sim::Time io_time = static_cast<sim::Time>(
           mean * (0.1 + jitter_rng_.Exponential(0.9)));
+      if (obs::Enabled()) {
+        Instruments().wal_batch_kvps->Record(physical_items);
+        Instruments().io_service_micros->Record(
+            static_cast<uint64_t>(io_time));
+        Instruments().cluster_writes->Add(physical_items);
+        Instruments().cluster_bytes_written->Add(physical_items * 1024);
+      }
       io_[node]->Process(io_time, [this, node, physical_items,
                                    done = std::move(done)](sim::Time) {
         AccountBytes(node, physical_items * 1024);
@@ -292,6 +336,11 @@ class GatewayModel {
     node_bytes_since_stall_[node] += bytes;
     while (node_bytes_since_stall_[node] >= threshold) {
       node_bytes_since_stall_[node] -= threshold;
+      if (obs::Enabled()) {
+        Instruments().write_stalls->Increment();
+        Instruments().write_stall_micros->Add(
+            static_cast<uint64_t>(profile_.flush_stall_us));
+      }
       // Compaction/flush burst: occupies the node's read path (scans stall
       // behind compaction IO) while writes keep landing in the memstore.
       read_[node]->Process(static_cast<sim::Time>(profile_.flush_stall_us),
@@ -326,6 +375,11 @@ class GatewayModel {
       query_latency_.Add(latency);
       queries_done_++;
       query_rows_ += row_count;
+      if (obs::Enabled()) {
+        Instruments().query_micros->Record(static_cast<uint64_t>(latency));
+        Instruments().query_count->Increment();
+        Instruments().query_rows->Add(row_count);
+      }
     });
   }
 

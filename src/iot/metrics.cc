@@ -5,6 +5,14 @@
 namespace iotdb {
 namespace iot {
 
+Status RunMetrics::Validate() const {
+  if (HasValidWindow()) return Status::OK();
+  return Status::InvalidArgument(
+      "invalid measurement window: ts_end (" +
+      std::to_string(ts_end_micros) + " us) is not after ts_start (" +
+      std::to_string(ts_start_micros) + " us)");
+}
+
 int PerformanceRunIndex(const RunMetrics& run1, const RunMetrics& run2) {
   // The spec picks run m with N_m < N_n; with equal kvp counts that reduces
   // to the slower (lower-IoTps) run.

@@ -114,6 +114,11 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
                  static_cast<unsigned long long>(faults.hint_overflows),
                  static_cast<unsigned long long>(faults.recopied_kvps));
     }
+    Status window = iter.measured.metrics.Validate();
+    AppendLine(&out, "  [%s] measurement window: %s",
+               window.ok() ? "PASS" : "FAIL",
+               window.ok() ? "ts_end after ts_start"
+                           : window.message().c_str());
     AppendCheck(&out, iter.data_check);
   }
 
@@ -122,6 +127,15 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
              "delta %.2f%%) ---",
              result.performance_run + 1,
              100.0 * result.RepeatabilityDelta());
+
+  const obs::MetricsSnapshot& obs_delta =
+      result.iterations[result.performance_run].measured.obs_delta;
+  if (!obs_delta.empty()) {
+    out.push_back('\n');
+    AppendLine(&out,
+               "--- Observability (performance run, measured window) ---");
+    out += obs_delta.ToTable();
+  }
 
   out.push_back('\n');
   AppendLine(&out, "--- Priced configuration ---");
@@ -144,9 +158,18 @@ Status WriteReportFiles(storage::Env* env, const std::string& dir,
   IOTDB_RETURN_NOT_OK(
       env->WriteStringToFile(dir + "/executive_summary.txt",
                              ExecutiveSummary(result, pricing, sut)));
-  return env->WriteStringToFile(
+  IOTDB_RETURN_NOT_OK(env->WriteStringToFile(
       dir + "/full_disclosure_report.txt",
-      FullDisclosureReport(result, pricing, sut));
+      FullDisclosureReport(result, pricing, sut)));
+  // Machine-readable layer breakdown of the performance run's measured
+  // window; omitted when the obs registry was disabled for the run.
+  const obs::MetricsSnapshot& obs_delta =
+      result.iterations[result.performance_run].measured.obs_delta;
+  if (!obs_delta.empty()) {
+    IOTDB_RETURN_NOT_OK(env->WriteStringToFile(dir + "/metrics.json",
+                                               obs_delta.ToJson()));
+  }
+  return Status::OK();
 }
 
 }  // namespace iot

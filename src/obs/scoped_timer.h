@@ -1,0 +1,70 @@
+#ifndef IOTDB_OBS_SCOPED_TIMER_H_
+#define IOTDB_OBS_SCOPED_TIMER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace iotdb {
+namespace obs {
+
+/// RAII timer recording elapsed microseconds into a LatencyHistogram on
+/// destruction. When the observability switch is off (or the histogram is
+/// null) construction skips the clock read and destruction is a single
+/// branch — the near-zero "disabled" cost the overhead budget relies on.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist,
+                       Clock* clock = Clock::Real())
+      : hist_(Enabled() ? hist : nullptr), clock_(clock) {
+    if (hist_ != nullptr) start_ = clock_->NowMicros();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Records now instead of at scope exit; idempotent.
+  void Stop() {
+    if (hist_ != nullptr) {
+      uint64_t now = clock_->NowMicros();
+      hist_->Record(now >= start_ ? now - start_ : 0);
+      hist_ = nullptr;
+    }
+  }
+
+  /// Drops the measurement (e.g. the guarded operation failed and its
+  /// latency would pollute the distribution).
+  void Cancel() { hist_ = nullptr; }
+
+ private:
+  LatencyHistogram* hist_;
+  Clock* clock_;
+  uint64_t start_ = 0;
+};
+
+/// A named trace span: resolves `layer.component.metric` in the global
+/// registry once and times the enclosing scope. For hot paths prefer
+/// resolving the histogram pointer up front and using ScopedTimer directly;
+/// TraceSpan trades one registry lookup for call-site brevity.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string& name, Clock* clock = Clock::Real())
+      : timer_(Enabled() ? MetricsRegistry::Global().GetHistogram(name)
+                         : nullptr,
+               clock) {}
+
+  void Stop() { timer_.Stop(); }
+  void Cancel() { timer_.Cancel(); }
+
+ private:
+  ScopedTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace iotdb
+
+#endif  // IOTDB_OBS_SCOPED_TIMER_H_

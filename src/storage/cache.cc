@@ -2,8 +2,28 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace iotdb {
 namespace storage {
+
+namespace {
+
+/// Process-wide block-cache counters, aggregated over every LruCache
+/// instance (per-instance hits()/misses() remain exact and unaffected).
+obs::Counter* GlobalHits() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("storage.block_cache.hits");
+  return counter;
+}
+
+obs::Counter* GlobalMisses() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("storage.block_cache.misses");
+  return counter;
+}
+
+}  // namespace
 
 LruCache::LruCache(size_t capacity_bytes, int shard_bits) {
   num_shards_ = 1u << shard_bits;
@@ -51,15 +71,20 @@ void LruCache::Insert(const std::string& key, std::shared_ptr<void> value,
 
 std::shared_ptr<void> LruCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.hits++;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      std::shared_ptr<void> value = it->second->value;
+      if (obs::Enabled()) GlobalHits()->Increment();
+      return value;
+    }
     shard.misses++;
-    return nullptr;
   }
-  shard.hits++;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->value;
+  if (obs::Enabled()) GlobalMisses()->Increment();
+  return nullptr;
 }
 
 void LruCache::Erase(const std::string& key) {

@@ -133,6 +133,26 @@ KVStore::KVStore(const Options& options, const std::string& name)
   }
   background_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(options_.background_threads, 1)));
+
+  auto& registry = obs::MetricsRegistry::Global();
+  obs_.puts = registry.GetCounter("storage.ops.puts");
+  obs_.gets = registry.GetCounter("storage.ops.gets");
+  obs_.scans = registry.GetCounter("storage.ops.scans");
+  obs_.memtable_flushes = registry.GetCounter("storage.memtable.flushes");
+  obs_.bytes_flushed = registry.GetCounter("storage.memtable.bytes_flushed");
+  obs_.compactions = registry.GetCounter("storage.compaction.count");
+  obs_.compaction_bytes_read =
+      registry.GetCounter("storage.compaction.bytes_read");
+  obs_.compaction_bytes_written =
+      registry.GetCounter("storage.compaction.bytes_written");
+  obs_.write_stalls = registry.GetCounter("storage.write.stalls");
+  obs_.write_stall_micros =
+      registry.GetCounter("storage.write.stall_micros");
+  obs_.wal_append_micros =
+      registry.GetHistogram("storage.wal.append_micros");
+  obs_.wal_sync_micros = registry.GetHistogram("storage.wal.sync_micros");
+  obs_.group_commit_kvps =
+      registry.GetHistogram("storage.wal.group_commit_kvps");
 }
 
 KVStore::~KVStore() {
@@ -417,11 +437,21 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
     {
       leader_active_ = true;
       lock.unlock();
+      const bool observe = obs::Enabled();
+      uint64_t t0 = observe ? options_.clock->NowMicros() : 0;
       status = log_->AddRecord(updates->Contents());
+      uint64_t t1 = observe ? options_.clock->NowMicros() : 0;
       if (status.ok() && w.sync) {
         status = log_file_->Sync();
       } else if (status.ok()) {
         status = log_file_->Flush();
+      }
+      if (observe) {
+        uint64_t t2 = options_.clock->NowMicros();
+        obs_.wal_append_micros->Record(t1 - t0);
+        obs_.wal_sync_micros->Record(t2 - t1);
+        obs_.group_commit_kvps->Record(
+            static_cast<uint64_t>(batch_count));
       }
       if (status.ok()) {
         status = updates->InsertInto(mem_);
@@ -432,7 +462,10 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
     }
     if (updates == &tmp_batch_) tmp_batch_.Clear();
     last_sequence_ = last_sequence;
-    stats_.puts += static_cast<uint64_t>(batch_count);
+    counters_.puts.Add(static_cast<uint64_t>(batch_count));
+    if (obs::Enabled()) {
+      obs_.puts->Add(static_cast<uint64_t>(batch_count));
+    }
   }
 
   while (true) {
@@ -508,7 +541,12 @@ Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     MaybeScheduleBackgroundWork();
   }
   if (stall_start != 0) {
-    stats_.write_stall_micros += options_.clock->NowMicros() - stall_start;
+    uint64_t stalled = options_.clock->NowMicros() - stall_start;
+    counters_.write_stall_micros.Add(stalled);
+    if (obs::Enabled()) {
+      obs_.write_stalls->Increment();
+      obs_.write_stall_micros->Add(stalled);
+    }
   }
   return Status::OK();
 }
@@ -601,8 +639,12 @@ Status KVStore::CompactMemTable(std::unique_lock<std::mutex>* lock) {
   if (meta != nullptr) {
     // Newest L0 file goes first.
     levels_.files[0].insert(levels_.files[0].begin(), meta);
-    stats_.memtable_flushes++;
-    stats_.bytes_flushed += meta->file_size;
+    counters_.memtable_flushes.Increment();
+    counters_.bytes_flushed.Add(meta->file_size);
+    if (obs::Enabled()) {
+      obs_.memtable_flushes->Increment();
+      obs_.bytes_flushed->Add(meta->file_size);
+    }
   }
   imm_->Unref();
   imm_ = nullptr;
@@ -709,7 +751,8 @@ Status KVStore::RunCompactionAtLevel(int level,
           return icmp_.Compare(Slice(a->smallest), Slice(b->smallest)) < 0;
         });
     dst.insert(pos, moved);
-    stats_.compactions++;
+    counters_.compactions.Increment();
+    if (obs::Enabled()) obs_.compactions->Increment();
     IOTDB_RETURN_NOT_OK(WriteManifest());
     return Status::OK();
   }
@@ -846,10 +889,15 @@ Status KVStore::RunCompactionAtLevel(int level,
           return icmp_.Compare(Slice(a->smallest), Slice(b->smallest)) < 0;
         });
     dst.insert(pos, out);
-    stats_.bytes_compacted += out->file_size;
+    counters_.bytes_compacted.Add(out->file_size);
+    if (obs::Enabled()) obs_.compaction_bytes_written->Add(out->file_size);
   }
-  stats_.compactions++;
-  stats_.bytes_compacted += bytes_read;
+  counters_.compactions.Increment();
+  counters_.bytes_compacted.Add(bytes_read);
+  if (obs::Enabled()) {
+    obs_.compactions->Increment();
+    obs_.compaction_bytes_read->Add(bytes_read);
+  }
   IOTDB_RETURN_NOT_OK(WriteManifest());
   RemoveObsoleteFiles();
   return Status::OK();
@@ -901,9 +949,10 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
   MemTable* imm;
   SequenceNumber snapshot;
   std::vector<std::shared_ptr<FileMeta>> candidates;
+  counters_.gets.Increment();
+  if (obs::Enabled()) obs_.gets->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats_.gets++;
     snapshot = last_sequence_;
     mem = mem_;
     mem->Ref();
@@ -992,10 +1041,8 @@ std::unique_ptr<Iterator> KVStore::NewIterator(const ReadOptions& options) {
 Status KVStore::Scan(const ReadOptions& options, const Slice& start,
                      const Slice& end_exclusive, size_t limit,
                      std::vector<std::pair<std::string, std::string>>* out) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.scans++;
-  }
+  counters_.scans.Increment();
+  if (obs::Enabled()) obs_.scans->Increment();
   auto iter = NewIterator(options);
   const Comparator* ucmp = icmp_.user_comparator();
   for (start.empty() ? iter->SeekToFirst() : iter->Seek(start);
@@ -1070,11 +1117,22 @@ void KVStore::WaitForBackgroundWork() {
 }
 
 KVStoreStats KVStore::GetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  KVStoreStats stats = stats_;
-  for (int level = 0; level < kNumLevels; ++level) {
-    stats.num_files[level] = static_cast<int>(levels_.NumFiles(level));
-    stats.level_bytes[level] = levels_.LevelBytes(level);
+  KVStoreStats stats;
+  stats.puts = counters_.puts.Value();
+  stats.gets = counters_.gets.Value();
+  stats.scans = counters_.scans.Value();
+  stats.memtable_flushes = counters_.memtable_flushes.Value();
+  stats.compactions = counters_.compactions.Value();
+  stats.write_stall_micros = counters_.write_stall_micros.Value();
+  stats.bytes_flushed = counters_.bytes_flushed.Value();
+  stats.bytes_compacted = counters_.bytes_compacted.Value();
+  {
+    // Only the level file lists still need the store mutex.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int level = 0; level < kNumLevels; ++level) {
+      stats.num_files[level] = static_cast<int>(levels_.NumFiles(level));
+      stats.level_bytes[level] = levels_.LevelBytes(level);
+    }
   }
   if (block_cache_ != nullptr) {
     stats.block_cache_hits = block_cache_->hits();

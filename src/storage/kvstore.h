@@ -15,6 +15,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "storage/cache.h"
 #include "storage/db_iter.h"
 #include "storage/dbformat.h"
@@ -29,7 +30,9 @@
 namespace iotdb {
 namespace storage {
 
-/// Counters exposed by KVStore::GetStats.
+/// Point-in-time view of a store's counters, assembled by KVStore::GetStats
+/// from atomic instruments (the counters themselves live in
+/// KVStore::StoreCounters; this struct is a plain copy for callers).
 struct KVStoreStats {
   uint64_t puts = 0;
   uint64_t gets = 0;
@@ -190,7 +193,40 @@ class KVStore {
   bool leader_active_ = false;
   Status background_error_;
 
-  KVStoreStats stats_;
+  /// Per-store atomic counters backing GetStats(). Always incremented (the
+  /// obs enable switch only gates the *global* registry mirrors and timer
+  /// clock reads) so per-store stats stay exact regardless of the flag.
+  struct StoreCounters {
+    obs::Counter puts;
+    obs::Counter gets;
+    obs::Counter scans;
+    obs::Counter memtable_flushes;
+    obs::Counter compactions;
+    obs::Counter write_stall_micros;
+    obs::Counter bytes_flushed;
+    obs::Counter bytes_compacted;
+  };
+  StoreCounters counters_;
+
+  /// Global `storage.*` registry instruments, resolved once at construction
+  /// so the hot path never takes the registry mutex. Aggregated across all
+  /// stores in the process (every node of an in-process cluster).
+  struct ObsInstruments {
+    obs::Counter* puts;
+    obs::Counter* gets;
+    obs::Counter* scans;
+    obs::Counter* memtable_flushes;
+    obs::Counter* bytes_flushed;
+    obs::Counter* compactions;
+    obs::Counter* compaction_bytes_read;
+    obs::Counter* compaction_bytes_written;
+    obs::Counter* write_stalls;
+    obs::Counter* write_stall_micros;
+    obs::LatencyHistogram* wal_append_micros;
+    obs::LatencyHistogram* wal_sync_micros;
+    obs::LatencyHistogram* group_commit_kvps;
+  };
+  ObsInstruments obs_;
 };
 
 }  // namespace storage

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "obs/metrics.h"
 #include "storage/bloom.h"
 #include "storage/comparator.h"
 #include "storage/dbformat.h"
@@ -230,9 +231,21 @@ Status Table::InternalGet(const ReadOptions& read_options, const Slice& k,
                           void* arg,
                           void (*handle_result)(void*, const Slice&,
                                                 const Slice&)) const {
-  if (!filter_data_.empty() &&
-      !BloomFilterMayMatch(Slice(filter_data_), ExtractUserKey(k))) {
-    return Status::OK();  // definitely not present
+  if (!filter_data_.empty()) {
+    const bool may_match =
+        BloomFilterMayMatch(Slice(filter_data_), ExtractUserKey(k));
+    if (obs::Enabled()) {
+      static obs::Counter* checks =
+          obs::MetricsRegistry::Global().GetCounter("storage.bloom.checks");
+      static obs::Counter* negatives =
+          obs::MetricsRegistry::Global().GetCounter(
+              "storage.bloom.negatives");
+      checks->Increment();
+      if (!may_match) negatives->Increment();
+    }
+    if (!may_match) {
+      return Status::OK();  // definitely not present
+    }
   }
   auto index_iter = index_block_->NewIterator(options_.comparator);
   index_iter->Seek(k);

@@ -2,12 +2,23 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace iotdb {
 namespace ycsb {
 
 void Measurements::Record(const std::string& op, uint64_t latency_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  histograms_[op].Add(latency_micros);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    histograms_[op].Add(latency_micros);
+  }
+  // Mirror into the global registry so per-op-type latency shows up in
+  // --metrics-out snapshots alongside storage/cluster instruments.
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("ycsb.op." + op + "_micros")
+        ->Record(latency_micros);
+  }
 }
 
 void Measurements::RecordFailure(const std::string& op) {

@@ -10,6 +10,7 @@
 #include "iot/metrics.h"
 #include "iot/pricing.h"
 #include "iot/report.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "ycsb/bindings.h"
 
@@ -107,6 +108,33 @@ TEST(MetricsTest, IoTpsIsEquation4) {
   run.ts_end_micros = 100ull * 1000000;  // 100 s
   EXPECT_DOUBLE_EQ(run.IoTps(), 10000.0);
   EXPECT_DOUBLE_EQ(run.ElapsedSeconds(), 100.0);
+}
+
+TEST(MetricsTest, ReversedWindowIsAnErrorNotAZeroRate) {
+  RunMetrics run;
+  run.kvps_ingested = 1000;
+  run.ts_start_micros = 5000000;
+  run.ts_end_micros = 1000000;  // clock went backwards
+  EXPECT_FALSE(run.HasValidWindow());
+  Status s = run.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("invalid measurement window"),
+            std::string::npos);
+  // Elapsed must come out negative (not a huge unsigned wrap) so IoTps
+  // cannot silently report a tiny-but-positive rate.
+  EXPECT_LT(run.ElapsedSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(run.IoTps(), 0.0);
+
+  RunMetrics empty;
+  empty.ts_start_micros = empty.ts_end_micros = 7;
+  EXPECT_FALSE(empty.HasValidWindow());
+  EXPECT_FALSE(empty.Validate().ok());
+
+  RunMetrics good;
+  good.ts_start_micros = 0;
+  good.ts_end_micros = 1;
+  EXPECT_TRUE(good.HasValidWindow());
+  EXPECT_TRUE(good.Validate().ok());
 }
 
 TEST(MetricsTest, PerformanceRunIsTheSlowerOne) {
@@ -337,6 +365,67 @@ TEST(ReportTest, SummaryAndFdrContainTheMetrics) {
   EXPECT_NE(fdr.find("Priced configuration"), std::string::npos);
   EXPECT_NE(fdr.find("data check"), std::string::npos);
   EXPECT_NE(fdr.find("TOTAL"), std::string::npos);
+  EXPECT_NE(fdr.find("[PASS] measurement window"), std::string::npos);
+}
+
+TEST(ReportTest, FdrFlagsAnInvalidMeasurementWindow) {
+  BenchmarkResult result;
+  for (int i = 0; i < 2; ++i) {
+    RunMetrics& m = result.iterations[i].measured.metrics;
+    m.kvps_ingested = 1000;
+    m.ts_start_micros = 2000000;
+    m.ts_end_micros = i == 0 ? 1000000 : 3000000;  // iteration 1 reversed
+    result.iterations[i].data_check = {true, "data check", "ok"};
+  }
+  result.valid = false;
+  result.invalid_reason = result.iterations[0].measured.metrics.Validate()
+                              .message();
+
+  std::string fdr = FullDisclosureReport(
+      result, PricedConfiguration::ReferenceGatewayConfig(3),
+      SutDescription{});
+  EXPECT_NE(fdr.find("[FAIL] measurement window"), std::string::npos);
+  EXPECT_NE(fdr.find("invalid measurement window"), std::string::npos);
+  EXPECT_NE(fdr.find("[PASS] measurement window"), std::string::npos);
+}
+
+TEST(ReportTest, FdrAndReportFilesCarryTheObsSnapshot) {
+  obs::SetEnabled(true);
+  auto sut = MakeSut(3);
+  BenchmarkConfig config;
+  config.num_driver_instances = 1;
+  config.total_kvps = 15000;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.skip_warmup = true;
+  BenchmarkDriver driver(config, sut.get());
+  BenchmarkResult result = driver.Run();
+  ASSERT_TRUE(result.status.ok());
+
+  const obs::MetricsSnapshot& delta =
+      result.iterations[result.performance_run].measured.obs_delta;
+  ASSERT_FALSE(delta.empty());
+  // The measured window saw real traffic in every wired layer.
+  EXPECT_GE(delta.counters.at("storage.ops.puts"), 15000u);
+  EXPECT_GE(delta.counters.at("cluster.ops.writes"), 15000u);
+  EXPECT_EQ(delta.counters.at("driver.ingest.kvps"), 15000u);
+  EXPECT_GT(delta.histograms.at("storage.wal.append_micros").count, 0u);
+
+  PricedConfiguration pricing =
+      PricedConfiguration::ReferenceGatewayConfig(3);
+  SutDescription sut_desc;
+  std::string fdr = FullDisclosureReport(result, pricing, sut_desc);
+  EXPECT_NE(fdr.find("Observability"), std::string::npos);
+  EXPECT_NE(fdr.find("storage.wal.append_micros"), std::string::npos);
+
+  auto env = storage::NewMemEnv();
+  ASSERT_TRUE(WriteReportFiles(env.get(), "/fdr", result, pricing, sut_desc)
+                  .ok());
+  std::string json;
+  ASSERT_TRUE(env->ReadFileToString("/fdr/metrics.json", &json).ok());
+  auto parsed = obs::MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.ValueOrDie() == delta);
 }
 
 }  // namespace

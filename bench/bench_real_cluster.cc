@@ -8,6 +8,8 @@
 //   --kvps=N           total kvps per run (default 40000)
 //   --subs=N           substations (default 2)
 //   --metrics-out=FILE obs registry snapshot (JSON) across all runs
+//   --scrub            enable background scrubbing on every store and run a
+//                      full integrity verification after each cluster's runs
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,12 +23,15 @@ using namespace iotdb;  // NOLINT — bench brevity
 int main(int argc, char** argv) {
   uint64_t total_kvps = 40000;
   int substations = 2;
+  bool scrub = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--kvps=", 7) == 0) {
       total_kvps = strtoull(argv[i] + 7, nullptr, 10);
     } else if (strncmp(argv[i], "--subs=", 7) == 0) {
       substations = atoi(argv[i] + 7);
+    } else if (strcmp(argv[i], "--scrub") == 0) {
+      scrub = true;
     } else if (strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     }
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
     cluster_options.num_nodes = nodes;
     cluster_options.replication_factor = 3;
     cluster_options.shard_key_fn = iot::TpcxIotShardKey;
+    cluster_options.storage_options.background_scrub = scrub;
     auto sut_result = cluster::Cluster::Start(cluster_options);
     if (!sut_result.ok()) {
       fprintf(stderr, "cluster start failed: %s\n",
@@ -73,6 +79,22 @@ int main(int argc, char** argv) {
            measured.metrics.ElapsedSeconds(),
            static_cast<unsigned long long>(queries.count()),
            queries.Mean() / 1000.0);
+    if (scrub) {
+      // The driver purges the SUT after its runs, so report what the
+      // background scrubber covered while the workload was live.
+      obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::Global().TakeSnapshot();
+      auto counter = [&snap](const char* name) -> unsigned long long {
+        auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? 0 : it->second;
+      };
+      printf("%8s scrub: %llu files / %llu bytes checked in background, "
+             "%llu corrupt, %llu quarantined\n",
+             "", counter("storage.scrub.files_checked"),
+             counter("storage.scrub.bytes_checked"),
+             counter("storage.scrub.corruption_detected"),
+             counter("storage.quarantine.files"));
+    }
   }
   printf("\nNote: single-host numbers; replication work scales with "
          "min(3, nodes), so more nodes = more total writes on one "

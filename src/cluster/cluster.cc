@@ -27,6 +27,9 @@ struct ClusterInstruments {
   obs::Counter* hints_replayed_kvps;
   obs::Counter* retry_attempts;
   obs::Counter* degraded_batches;
+  obs::Counter* read_repair_served;
+  obs::Counter* quarantined_files;
+  obs::Counter* corruption_repairs;
 };
 
 ClusterInstruments& Instruments() {
@@ -38,7 +41,10 @@ ClusterInstruments& Instruments() {
         registry.GetCounter("cluster.hints.recorded_kvps"),
         registry.GetCounter("cluster.hints.replayed_kvps"),
         registry.GetCounter("cluster.retry.attempts"),
-        registry.GetCounter("cluster.write.degraded_batches")};
+        registry.GetCounter("cluster.write.degraded_batches"),
+        registry.GetCounter("cluster.read_repair.served"),
+        registry.GetCounter("cluster.read_repair.quarantined_files"),
+        registry.GetCounter("cluster.read_repair.shard_recopies")};
   }();
   return instruments;
 }
@@ -68,16 +74,77 @@ Result<std::unique_ptr<Cluster>> Cluster::Start(
     cluster->options_.storage_options.env = cluster->fault_env_.get();
   }
   cluster->hints_.resize(static_cast<size_t>(cluster->options_.num_nodes));
+  Cluster* raw = cluster.get();
+  auto on_quarantine = [raw](int node_id, const std::string& path,
+                             const Status& cause) {
+    raw->OnNodeQuarantine(node_id, path, cause);
+  };
   for (int i = 0; i < cluster->options_.num_nodes; ++i) {
     std::string dir =
         cluster->options_.data_root + "/node" + std::to_string(i);
     IOTDB_ASSIGN_OR_RETURN(
         auto node,
         Node::Start(i, cluster->options_.storage_options, dir,
-                    cluster->fault_env_.get()));
+                    cluster->fault_env_.get(), on_quarantine));
     cluster->nodes_.push_back(std::move(node));
   }
   return cluster;
+}
+
+void Cluster::OnNodeQuarantine(int node_id, const std::string& path,
+                               const Status& cause) {
+  // May run on a store background thread with store locks held: only
+  // record and enqueue — repair happens in RunPendingRepairs().
+  (void)path;
+  (void)cause;
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  fault_stats_.corrupt_files_quarantined++;
+  pending_repair_.insert(node_id);
+  if (obs::Enabled()) Instruments().quarantined_files->Increment();
+}
+
+void Cluster::RecordReadRepair() {
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  fault_stats_.read_repairs++;
+  if (obs::Enabled()) Instruments().read_repair_served->Increment();
+}
+
+std::vector<int> Cluster::PendingRepairNodes() const {
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  return std::vector<int>(pending_repair_.begin(), pending_repair_.end());
+}
+
+Status Cluster::RunPendingRepairs() {
+  std::set<int> pending;
+  {
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    pending.swap(pending_repair_);
+  }
+  Status first_error;
+  for (int id : pending) {
+    Node* node = nodes_[id].get();
+    if (node->is_down() || !node->is_running()) {
+      // Defer: the RestartNode path re-copies a crashed node's shards
+      // anyway, and its quarantine flag forces a re-copy there too.
+      std::lock_guard<std::mutex> lock(hints_mu_);
+      pending_repair_.insert(id);
+      continue;
+    }
+    Status s = RecopyShards(id);
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = s;
+      std::lock_guard<std::mutex> lock(hints_mu_);
+      pending_repair_.insert(id);  // retry on the next pass
+      continue;
+    }
+    // Every key the node replicates has been re-written from a healthy
+    // replica; local reads are trustworthy again.
+    node->ClearUnderRepair();
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    fault_stats_.corruption_repairs++;
+    if (obs::Enabled()) Instruments().corruption_repairs->Increment();
+  }
+  return first_error;
 }
 
 Clock* Cluster::clock() const {
@@ -138,7 +205,7 @@ Status Cluster::RestartNode(int id) {
   // recovery is not enough; an overflowed hint buffer lost the replay log.
   // Either way only a full re-copy from live replicas reconverges — the
   // hints are then redundant (live replicas already hold those writes).
-  bool recopy = node->crashed();
+  bool recopy = node->crashed() || node->under_repair();
   {
     std::lock_guard<std::mutex> lock(hints_mu_);
     if (hints_[id].overflowed) recopy = true;
@@ -148,7 +215,16 @@ Status Cluster::RestartNode(int id) {
       UpdateHintDepthGaugeLocked();
     }
   }
-  if (recopy) IOTDB_RETURN_NOT_OK(RecopyShards(id));
+  if (recopy) {
+    IOTDB_RETURN_NOT_OK(RecopyShards(id));
+    if (node->under_repair()) {
+      node->ClearUnderRepair();
+      std::lock_guard<std::mutex> lock(hints_mu_);
+      pending_repair_.erase(id);
+      fault_stats_.corruption_repairs++;
+      if (obs::Enabled()) Instruments().corruption_repairs->Increment();
+    }
+  }
 
   // Drain hints in rounds; writers may keep hinting while a round replays.
   // The round that observes an empty buffer flips the node up while still
@@ -224,6 +300,7 @@ Status Cluster::RecopyShards(int target_id) {
   for (auto& source : nodes_) {
     if (source->id() == target_id) continue;
     if (source->is_down() || !source->is_running()) continue;
+    if (source->under_repair()) continue;  // untrustworthy copy source
     auto iter = source->store()->NewIterator(storage::ReadOptions());
     storage::WriteBatch batch;
     size_t batch_rows = 0;
@@ -237,7 +314,7 @@ Status Cluster::RecopyShards(int target_id) {
         if (r == target_id) {
           target_holds = true;
         } else if (copier < 0 && !nodes_[r]->is_down() &&
-                   nodes_[r]->is_running()) {
+                   nodes_[r]->is_running() && !nodes_[r]->under_repair()) {
           copier = r;
         }
       }
@@ -352,6 +429,18 @@ std::string Cluster::Describe() {
              static_cast<unsigned long long>(faults.recopied_kvps));
     out += line;
   }
+  if (faults.corrupt_files_quarantined + faults.read_repairs +
+          faults.corruption_repairs >
+      0) {
+    snprintf(line, sizeof(line),
+             "  integrity: %llu corrupt files quarantined, %llu reads "
+             "re-served from healthy replicas, %llu shard re-copies\n",
+             static_cast<unsigned long long>(
+                 faults.corrupt_files_quarantined),
+             static_cast<unsigned long long>(faults.read_repairs),
+             static_cast<unsigned long long>(faults.corruption_repairs));
+    out += line;
+  }
   return out;
 }
 
@@ -380,6 +469,7 @@ Status Cluster::PurgeAll() {
     buf.rows.clear();
     buf.overflowed = false;
   }
+  pending_repair_.clear();  // Purge rebuilt every store from scratch
   UpdateHintDepthGaugeLocked();
   return Status::OK();
 }
@@ -541,6 +631,7 @@ Status Client::PutBatch(
 
 Result<std::string> Client::Get(const Slice& key) {
   Status last_error = Status::IOError("no replicas available");
+  bool corrupt_seen = false;
   for (int node_id : cluster_->ReplicaNodesFor(key)) {
     Node* node = cluster_->node(node_id);
     if (node->is_down()) continue;
@@ -552,8 +643,21 @@ Result<std::string> Client::Get(const Slice& key) {
           return result.status();
         },
         node);
-    if (s.ok()) return value;
-    if (s.IsNotFound()) return s;
+    if (s.ok()) {
+      if (corrupt_seen) cluster_->RecordReadRepair();
+      return value;
+    }
+    if (s.IsCorruption()) {
+      // This replica quarantined data (or is fenced while under repair):
+      // neither a value nor NotFound from it can be trusted. Fail over.
+      corrupt_seen = true;
+      last_error = s;
+      continue;
+    }
+    if (s.IsNotFound()) {
+      if (corrupt_seen) cluster_->RecordReadRepair();
+      return s;
+    }
     last_error = s;
   }
   return last_error;
@@ -578,6 +682,7 @@ Status Client::Scan(const Slice& shard_key, const Slice& start,
                     const Slice& end_exclusive, size_t limit,
                     std::vector<std::pair<std::string, std::string>>* out) {
   Status last_error = Status::IOError("no replicas available");
+  bool corrupt_seen = false;
   for (int node_id : cluster_->ReplicaNodesForShardKey(shard_key)) {
     Node* node = cluster_->node(node_id);
     if (node->is_down()) continue;
@@ -588,7 +693,11 @@ Status Client::Scan(const Slice& shard_key, const Slice& start,
           return node->Scan(start, end_exclusive, limit, out);
         },
         node);
-    if (s.ok()) return s;
+    if (s.ok()) {
+      if (corrupt_seen) cluster_->RecordReadRepair();
+      return s;
+    }
+    if (s.IsCorruption()) corrupt_seen = true;
     last_error = s;
   }
   return last_error;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +34,10 @@ struct FaultRecoveryStats {
   uint64_t hint_replayed_kvps = 0;  // hints applied during catch-up
   uint64_t hint_overflows = 0;   // hint buffers dropped for a full re-copy
   uint64_t recopied_kvps = 0;    // kvps restored by full shard re-copy
+  uint64_t corrupt_files_quarantined = 0;  // files node stores moved aside
+  uint64_t corruption_repairs = 0;  // shard re-copies healing a quarantine
+  uint64_t read_repairs = 0;  // reads re-served from a healthy replica after
+                              // another replica returned Corruption
 };
 
 /// An in-process gateway cluster (the System Under Test of TPCx-IoT): N
@@ -95,6 +100,17 @@ class Cluster {
 
   FaultRecoveryStats GetFaultRecoveryStats() const;
 
+  /// Heals every node whose store quarantined a corrupt file since the last
+  /// call: re-copies its shards from healthy replicas, then lifts the node's
+  /// under-repair read fence. Nodes currently down stay pending (their
+  /// RestartNode path re-copies anyway). Safe to call from a monitor thread
+  /// while the workload keeps running.
+  Status RunPendingRepairs();
+
+  /// Node ids with a pending corruption repair (quarantined, not yet
+  /// re-copied).
+  std::vector<int> PendingRepairNodes() const;
+
   /// Aggregated and per-node statistics.
   NodeStats GetNodeStats(int i) const { return nodes_[i]->GetStats(); }
   NodeStats GetAggregateStats() const;
@@ -135,6 +151,15 @@ class Cluster {
   /// shard (the node itself excluded). Exactly one source copies each key.
   Status RecopyShards(int target_id);
 
+  /// Store quarantine callback (may run on a store background thread with
+  /// store locks held): records the event and queues the node for repair.
+  void OnNodeQuarantine(int node_id, const std::string& path,
+                        const Status& cause);
+
+  /// Counts a read answered by a healthy replica after another replica
+  /// returned Corruption (called by Client).
+  void RecordReadRepair();
+
   /// Refreshes the cluster.hints.queue_depth gauge (total buffered hint
   /// rows across nodes). Caller holds hints_mu_.
   void UpdateHintDepthGaugeLocked();
@@ -154,6 +179,9 @@ class Cluster {
   mutable std::mutex hints_mu_;
   std::vector<HintBuffer> hints_;  // one per node
   FaultRecoveryStats fault_stats_;
+  /// Node ids whose stores quarantined a corrupt file and still await a
+  /// shard re-copy (guarded by hints_mu_).
+  std::set<int> pending_repair_;
 };
 
 /// Routing client. A single instance may be shared by many threads (nodes

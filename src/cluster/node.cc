@@ -33,21 +33,38 @@ NodeInstruments& Instruments() {
 
 }  // namespace
 
+void Node::CorruptionListener::OnQuarantine(const std::string& path,
+                                            const Status& cause) {
+  node_->OnStoreQuarantine(path, cause);
+}
+
 Node::Node(int id, const storage::Options& options, std::string data_dir,
-           storage::FaultInjectionEnv* fault_env)
+           storage::FaultInjectionEnv* fault_env,
+           QuarantineHandler on_quarantine)
     : id_(id),
       options_(options),
       data_dir_(std::move(data_dir)),
-      fault_env_(fault_env) {}
+      fault_env_(fault_env),
+      on_quarantine_(std::move(on_quarantine)) {
+  // Every (re)open of the store reports quarantines back to this node.
+  options_.corruption_reporter = &corruption_listener_;
+}
 
 Result<std::unique_ptr<Node>> Node::Start(
     int id, const storage::Options& options, const std::string& data_dir,
-    storage::FaultInjectionEnv* fault_env) {
-  auto node =
-      std::unique_ptr<Node>(new Node(id, options, data_dir, fault_env));
+    storage::FaultInjectionEnv* fault_env, QuarantineHandler on_quarantine) {
+  auto node = std::unique_ptr<Node>(
+      new Node(id, options, data_dir, fault_env, std::move(on_quarantine)));
   IOTDB_ASSIGN_OR_RETURN(node->store_,
-                         storage::KVStore::Open(options, data_dir));
+                         storage::KVStore::Open(node->options_, data_dir));
   return node;
+}
+
+void Node::OnStoreQuarantine(const std::string& path, const Status& cause) {
+  // Runs with store locks held: record, flag, forward — nothing else.
+  files_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  under_repair_.store(true, std::memory_order_release);
+  if (on_quarantine_) on_quarantine_(id_, path, cause);
 }
 
 bool Node::is_running() const {
@@ -104,9 +121,18 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
   return Status::OK();
 }
 
+Status Node::UnderRepairError() const {
+  return Status::Corruption("node " + std::to_string(id_) +
+                            " is under corruption repair; read from another "
+                            "replica");
+}
+
 Result<std::string> Node::Get(const Slice& key) {
   std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
   if (is_down() || store_ == nullptr) return NotRunningError();
+  // A quarantine removed keys from this store: a local miss — or a stale
+  // deeper-level version — cannot be trusted until shards are re-copied.
+  if (under_repair()) return UnderRepairError();
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (obs::Enabled()) Instruments().reads->Increment();
   return store_->Get(storage::ReadOptions(), key);
@@ -117,6 +143,7 @@ Status Node::Scan(const Slice& start, const Slice& end_exclusive,
                   std::vector<std::pair<std::string, std::string>>* out) {
   std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
   if (is_down() || store_ == nullptr) return NotRunningError();
+  if (under_repair()) return UnderRepairError();
   scans_.fetch_add(1, std::memory_order_relaxed);
   size_t before = out->size();
   IOTDB_RETURN_NOT_OK(
@@ -150,6 +177,8 @@ Status Node::Purge() {
   IOTDB_ASSIGN_OR_RETURN(store_, storage::KVStore::Open(options_, data_dir_));
   crashed_.store(false, std::memory_order_release);
   down_.store(false, std::memory_order_release);
+  under_repair_.store(false, std::memory_order_release);
+  files_quarantined_ = 0;
   writes_ = 0;
   primary_writes_ = 0;
   reads_ = 0;

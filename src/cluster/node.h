@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/corruption_reporter.h"
 #include "storage/fault_env.h"
 #include "storage/kvstore.h"
 
@@ -34,11 +36,20 @@ struct NodeStats {
 /// reader/writer lock.
 class Node {
  public:
+  /// Invoked when this node's store quarantines a corrupt file. May run on
+  /// a store background thread with store locks held: only enqueue.
+  using QuarantineHandler =
+      std::function<void(int node_id, const std::string& path,
+                        const Status& cause)>;
+
   /// `fault_env` (optional, not owned) enables realistic crash simulation:
   /// Crash() uses it to discard every byte the store had not yet synced.
+  /// `on_quarantine` (optional) observes corrupt-file quarantines; the
+  /// cluster uses it to trigger replica-driven repair.
   static Result<std::unique_ptr<Node>> Start(
       int id, const storage::Options& options, const std::string& data_dir,
-      storage::FaultInjectionEnv* fault_env = nullptr);
+      storage::FaultInjectionEnv* fault_env = nullptr,
+      QuarantineHandler on_quarantine = nullptr);
 
   int id() const { return id_; }
   const std::string& data_dir() const { return data_dir_; }
@@ -58,6 +69,23 @@ class Node {
   /// replay. Cleared by the cluster after recovery completes.
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   void ClearCrashed() { crashed_.store(false, std::memory_order_release); }
+
+  /// True from the moment the store quarantines a corrupt file until the
+  /// cluster finishes re-copying this node's shards from healthy replicas.
+  /// While set, reads are refused with Status::Corruption so clients fail
+  /// over — a quarantine removes keys, so a local miss (or a stale deeper-
+  /// level version) can no longer be trusted. Writes proceed normally.
+  bool under_repair() const {
+    return under_repair_.load(std::memory_order_acquire);
+  }
+  void ClearUnderRepair() {
+    under_repair_.store(false, std::memory_order_release);
+  }
+
+  /// Corrupt files this node's store has quarantined since start.
+  uint64_t files_quarantined() const {
+    return files_quarantined_.load(std::memory_order_relaxed);
+  }
 
   /// Direct store access for tests and cluster-internal recovery. The
   /// caller must know the node is not concurrently crashing/restarting.
@@ -97,21 +125,37 @@ class Node {
   Status Purge();
 
  private:
+  /// Bridges the store's CorruptionReporter callback onto the node.
+  class CorruptionListener final : public storage::CorruptionReporter {
+   public:
+    explicit CorruptionListener(Node* node) : node_(node) {}
+    void OnQuarantine(const std::string& path, const Status& cause) override;
+
+   private:
+    Node* const node_;
+  };
+
   Node(int id, const storage::Options& options, std::string data_dir,
-       storage::FaultInjectionEnv* fault_env);
+       storage::FaultInjectionEnv* fault_env, QuarantineHandler on_quarantine);
 
   Status NotRunningError() const;
+  Status UnderRepairError() const;
+  void OnStoreQuarantine(const std::string& path, const Status& cause);
 
   const int id_;
+  CorruptionListener corruption_listener_{this};
   storage::Options options_;
   const std::string data_dir_;
   storage::FaultInjectionEnv* const fault_env_;  // may be null
+  const QuarantineHandler on_quarantine_;        // may be null
 
   /// Shared: normal operations. Exclusive: store open/close transitions.
   mutable std::shared_mutex lifecycle_mu_;
   std::unique_ptr<storage::KVStore> store_;
   std::atomic<bool> down_{false};
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> under_repair_{false};
+  std::atomic<uint64_t> files_quarantined_{0};
 
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> primary_writes_{0};

@@ -57,6 +57,18 @@ double WorkloadExecution::MaxDriverSeconds() const {
   return worst;
 }
 
+uint64_t IntegrityStats::TotalWalDroppedBytes() const {
+  uint64_t total = 0;
+  for (uint64_t bytes : node_wal_dropped_bytes) total += bytes;
+  return total;
+}
+
+bool IntegrityStats::Any() const {
+  return files_corrupted + bits_flipped + files_quarantined + read_repairs +
+             shard_recopies + TotalWalDroppedBytes() >
+         0;
+}
+
 double WorkloadExecution::AvgDriverSeconds() const {
   if (drivers.empty()) return 0;
   double total = 0;
@@ -72,6 +84,69 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkload() {
   return ExecuteWorkloadInternal(/*with_faults=*/true);
 }
 
+void BenchmarkDriver::InjectScheduledCorruption() {
+  const int victim = config_.fault_corrupt_node;
+  cluster::Node* node = cluster_->node(victim);
+  if (node->is_down() || !node->is_running()) {
+    IOTDB_LOG(Warn) << "fault schedule: corrupt_sstable skipped, node "
+                    << victim << " is down";
+    return;
+  }
+  // Flush so at least one live SSTable exists to damage.
+  Status flush = node->store()->FlushMemTable();
+  if (!flush.ok()) {
+    IOTDB_LOG(Warn) << "fault schedule: flush before corruption failed: "
+                    << flush.ToString();
+    return;
+  }
+  // Bit-rot can land in a table that an in-flight compaction retires
+  // before the scrub runs: the rot dies with the obsolete file and never
+  // threatens live data. Such vacuous injections are discounted and
+  // re-rolled so the schedule reliably exercises detection.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto victim_file = cluster_->fault_env()->CorruptRandomFile(
+        node->data_dir(), storage::FileClass::kSSTable,
+        config_.fault_corrupt_bits);
+    if (!victim_file.ok()) {
+      IOTDB_LOG(Warn) << "fault schedule: bit-rot injection failed: "
+                      << victim_file.status().ToString();
+      return;
+    }
+    IOTDB_LOG(Info) << "fault schedule: flipped "
+                    << config_.fault_corrupt_bits << " bits in "
+                    << victim_file.ValueOrDie();
+    // Detect and heal while the workload keeps running: the scrub
+    // quarantines the damaged file, the repair re-copies the node's
+    // shards from healthy replicas and lifts its read fence.
+    storage::ScrubReport report;
+    Status scrub = node->store()->VerifyIntegrity(&report);
+    if (!scrub.ok()) {
+      IOTDB_LOG(Warn) << "fault schedule: scrub failed: "
+                      << scrub.ToString();
+      break;
+    }
+    IOTDB_LOG(Info) << "fault schedule: scrub checked "
+                    << report.files_checked << " files, quarantined "
+                    << report.quarantined_files;
+    if (report.quarantined_files > 0) break;
+    if (node->store()->IsLiveTableFile(victim_file.ValueOrDie())) {
+      // The damaged file is live yet verified clean: a genuine miss the
+      // FDR must warn about, not a race to paper over.
+      break;
+    }
+    IOTDB_LOG(Info) << "fault schedule: " << victim_file.ValueOrDie()
+                    << " was compacted away before the scrub; re-rolling";
+    vacuous_corrupt_files_.fetch_add(1, std::memory_order_relaxed);
+    vacuous_corrupt_bits_.fetch_add(
+        static_cast<uint64_t>(config_.fault_corrupt_bits),
+        std::memory_order_relaxed);
+  }
+  Status repair = cluster_->RunPendingRepairs();
+  if (!repair.ok()) {
+    IOTDB_LOG(Warn) << "fault schedule: repair failed: " << repair.ToString();
+  }
+}
+
 WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   WorkloadExecution execution;
   const int p = config_.num_driver_instances;
@@ -83,6 +158,32 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
       cluster_->GetFaultRecoveryStats();
   const bool fault_armed = with_faults && config_.fault_kill_node >= 0 &&
                            config_.fault_kill_node < cluster_->num_nodes();
+  const bool corrupt_armed = with_faults && config_.fault_corrupt_node >= 0 &&
+                             config_.fault_corrupt_node <
+                                 cluster_->num_nodes() &&
+                             cluster_->fault_env() != nullptr;
+
+  // Per-node corrupt-WAL-bytes-dropped-in-recovery, for the execution delta
+  // (safe to read here and after the joins: no lifecycle transitions run).
+  auto node_wal_dropped = [this]() {
+    std::vector<uint64_t> dropped(
+        static_cast<size_t>(cluster_->num_nodes()), 0);
+    for (int i = 0; i < cluster_->num_nodes(); ++i) {
+      cluster::Node* node = cluster_->node(i);
+      if (node->is_running()) {
+        dropped[static_cast<size_t>(i)] =
+            node->store()->GetStats().wal_recovery_dropped_bytes;
+      }
+    }
+    return dropped;
+  };
+  const std::vector<uint64_t> wal_dropped_before = node_wal_dropped();
+  storage::FaultCounters fault_counters_before;
+  if (cluster_->fault_env() != nullptr) {
+    fault_counters_before = cluster_->fault_env()->counters();
+  }
+  vacuous_corrupt_files_.store(0, std::memory_order_relaxed);
+  vacuous_corrupt_bits_.store(0, std::memory_order_relaxed);
 
   std::vector<DriverResult> results(p);
   std::vector<std::thread> threads;
@@ -90,6 +191,7 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
 
   std::atomic<bool> drivers_done{false};
   std::thread fault_monitor;
+  std::thread corruption_monitor;
 
   const bool observe = obs::Enabled();
   obs::MetricsSnapshot obs_before;
@@ -162,9 +264,37 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
     });
   }
 
+  if (corrupt_armed) {
+    corruption_monitor = std::thread([this, &drivers_done]() {
+      const uint64_t base = cluster_->GetAggregateStats().primary_writes;
+      while (!drivers_done.load(std::memory_order_acquire)) {
+        uint64_t acked = cluster_->GetAggregateStats().primary_writes - base;
+        if (acked >= config_.fault_corrupt_at_ops) {
+          InjectScheduledCorruption();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Ingest finished before the threshold: fire anyway so the schedule
+      // always exercises detection and repair (disclosed in the FDR).
+      InjectScheduledCorruption();
+    });
+  }
+
   for (auto& thread : threads) thread.join();
   drivers_done.store(true, std::memory_order_release);
   if (fault_monitor.joinable()) fault_monitor.join();
+  if (corruption_monitor.joinable()) corruption_monitor.join();
+  if (corrupt_armed) {
+    // Quarantines surfaced after the monitor's repair pass (e.g. from a
+    // late compaction read) must not leak past the execution: the data
+    // check and the next iteration expect a fully healed cluster.
+    Status repair = cluster_->RunPendingRepairs();
+    if (!repair.ok()) {
+      IOTDB_LOG(Warn) << "fault schedule: final repair failed: "
+                      << repair.ToString();
+    }
+  }
   execution.metrics.ts_end_micros = clock->NowMicros();
 
   if (observe) {
@@ -186,6 +316,42 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
       faults_after.hint_overflows - faults_before.hint_overflows;
   execution.faults.recopied_kvps =
       faults_after.recopied_kvps - faults_before.recopied_kvps;
+  execution.faults.corrupt_files_quarantined =
+      faults_after.corrupt_files_quarantined -
+      faults_before.corrupt_files_quarantined;
+  execution.faults.corruption_repairs =
+      faults_after.corruption_repairs - faults_before.corruption_repairs;
+  execution.faults.read_repairs =
+      faults_after.read_repairs - faults_before.read_repairs;
+
+  execution.integrity.files_quarantined =
+      execution.faults.corrupt_files_quarantined;
+  execution.integrity.shard_recopies = execution.faults.corruption_repairs;
+  execution.integrity.read_repairs = execution.faults.read_repairs;
+  if (cluster_->fault_env() != nullptr) {
+    // Discount vacuous injections (rot that died with an obsolete table
+    // before any verification could see it): they were re-rolled and never
+    // threatened live data, so they don't count against detection.
+    storage::FaultCounters counters = cluster_->fault_env()->counters();
+    execution.integrity.files_corrupted =
+        counters.files_corrupted - fault_counters_before.files_corrupted -
+        vacuous_corrupt_files_.load(std::memory_order_relaxed);
+    execution.integrity.bits_flipped =
+        counters.bits_flipped - fault_counters_before.bits_flipped -
+        vacuous_corrupt_bits_.load(std::memory_order_relaxed);
+  }
+  const std::vector<uint64_t> wal_dropped_after = node_wal_dropped();
+  execution.integrity.node_wal_dropped_bytes.assign(wal_dropped_after.size(),
+                                                    0);
+  for (size_t i = 0; i < wal_dropped_after.size(); ++i) {
+    // A node restart reopens the store and resets its counters, so the
+    // delta saturates to the new instance's count instead of underflowing.
+    uint64_t before = i < wal_dropped_before.size() ? wal_dropped_before[i]
+                                                    : 0;
+    execution.integrity.node_wal_dropped_bytes[i] =
+        wal_dropped_after[i] >= before ? wal_dropped_after[i] - before
+                                       : wal_dropped_after[i];
+  }
 
   execution.drivers = std::move(results);
   for (const auto& driver : execution.drivers) {
@@ -228,6 +394,21 @@ BenchmarkResult BenchmarkDriver::Run() {
         "fault.kill_node=" + std::to_string(config_.fault_kill_node) +
         " but the SUT has " + std::to_string(cluster_->num_nodes()) +
         " nodes");
+    result.invalid_reason = "invalid fault schedule";
+    return result;
+  }
+  if (config_.fault_corrupt_node >= cluster_->num_nodes()) {
+    result.status = Status::InvalidArgument(
+        "fault.corrupt_sstable=" +
+        std::to_string(config_.fault_corrupt_node) + " but the SUT has " +
+        std::to_string(cluster_->num_nodes()) + " nodes");
+    result.invalid_reason = "invalid fault schedule";
+    return result;
+  }
+  if (config_.fault_corrupt_node >= 0 && cluster_->fault_env() == nullptr) {
+    result.status = Status::InvalidArgument(
+        "fault.corrupt_sstable requires a cluster with fault injection "
+        "enabled");
     result.invalid_reason = "invalid fault schedule";
     return result;
   }

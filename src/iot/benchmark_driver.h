@@ -1,6 +1,7 @@
 #ifndef IOTDB_IOT_BENCHMARK_DRIVER_H_
 #define IOTDB_IOT_BENCHMARK_DRIVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -63,6 +64,35 @@ struct BenchmarkConfig {
   int fault_kill_node = -1;
   uint64_t fault_at_ops = 0;
   uint64_t fault_restart_after_ops = 0;
+
+  /// Bit-rot schedule (`fault.corrupt_sstable` in kit properties), applied
+  /// to measured executions only. When fault_corrupt_node >= 0 the driver
+  /// flips fault_corrupt_bits seeded-random bits in a random live SSTable
+  /// of that node once fault_corrupt_at_ops primary kvps are acknowledged
+  /// (a memtable flush guarantees a victim file exists), then scrubs the
+  /// victim store — quarantining the damaged file — and heals it with a
+  /// shard re-copy from healthy replicas, all while ingest keeps running.
+  /// If the threshold is never reached the injection fires at the end of
+  /// the execution so the schedule always exercises detection and repair.
+  /// Requires the cluster to run with fault injection enabled.
+  int fault_corrupt_node = -1;
+  uint64_t fault_corrupt_at_ops = 0;
+  int fault_corrupt_bits = 8;
+};
+
+/// Corruption injected / detected / repaired during one workload execution
+/// (the FDR "Data integrity" numbers). All zero for a clean run.
+struct IntegrityStats {
+  uint64_t files_corrupted = 0;    // files damaged by bit-rot injection
+  uint64_t bits_flipped = 0;
+  uint64_t files_quarantined = 0;  // corrupt files detected & moved aside
+  uint64_t read_repairs = 0;       // reads re-served from healthy replicas
+  uint64_t shard_recopies = 0;     // quarantines healed by shard re-copy
+  /// Corrupt WAL bytes dropped during recovery, per node id.
+  std::vector<uint64_t> node_wal_dropped_bytes;
+
+  uint64_t TotalWalDroppedBytes() const;
+  bool Any() const;
 };
 
 /// One workload execution (warmup or measured): per-driver outcomes plus
@@ -74,6 +104,8 @@ struct WorkloadExecution {
   /// Fault-recovery activity during this execution (crashes, restarts,
   /// hinted/replayed/re-copied kvps). All zero for a clean run.
   cluster::FaultRecoveryStats faults;
+  /// Corruption injected/detected/repaired during this execution.
+  IntegrityStats integrity;
   /// Registry delta over exactly this execution's window — the warm-up
   /// execution gets its own delta, so measured numbers are not polluted by
   /// warm-up traffic. Empty when the obs registry is disabled.
@@ -136,8 +168,17 @@ class BenchmarkDriver {
  private:
   WorkloadExecution ExecuteWorkloadInternal(bool with_faults);
 
+  /// Fires the bit-rot schedule once: flush the victim's memtable, flip
+  /// bits in one of its SSTables, scrub (detect + quarantine), repair.
+  void InjectScheduledCorruption();
+
   BenchmarkConfig config_;
   cluster::Cluster* cluster_;
+  /// Injections whose damaged file was compacted away before the scrub
+  /// could see it (the rot died with the obsolete table); re-rolled by
+  /// InjectScheduledCorruption and discounted from IntegrityStats.
+  std::atomic<uint64_t> vacuous_corrupt_files_{0};
+  std::atomic<uint64_t> vacuous_corrupt_bits_{0};
 };
 
 /// Shard key function for gateway clusters running TPCx-IoT: routes by

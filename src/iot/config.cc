@@ -11,7 +11,8 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
       "seed",                 "min_run_seconds",    "min_per_sensor_rate",
       "min_rows_per_query",   "enforce_query_rows", "skip_warmup",
       "repeatability_tolerance",
-      "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops"};
+      "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops",
+      "fault.corrupt_sstable", "fault.corrupt_at_ops", "fault.corrupt_bits"};
   for (const auto& [key, value] : props.map()) {
     if (kKnownKeys.count(key) == 0) {
       return Status::InvalidArgument("unknown benchmark property: " + key);
@@ -63,6 +64,26 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
   config.fault_restart_after_ops =
       static_cast<uint64_t>(fault_restart_after_ops);
 
+  IOTDB_ASSIGN_OR_RETURN(int64_t corrupt_node,
+                         props.GetInt("fault.corrupt_sstable", -1));
+  IOTDB_ASSIGN_OR_RETURN(int64_t corrupt_at_ops,
+                         props.GetInt("fault.corrupt_at_ops", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t corrupt_bits,
+                         props.GetInt("fault.corrupt_bits", 8));
+  if (corrupt_at_ops < 0) {
+    return Status::InvalidArgument("fault.corrupt_at_ops must be >= 0");
+  }
+  if (corrupt_node < 0 && corrupt_at_ops > 0) {
+    return Status::InvalidArgument(
+        "fault.corrupt_at_ops requires fault.corrupt_sstable");
+  }
+  if (corrupt_node >= 0 && corrupt_bits < 1) {
+    return Status::InvalidArgument("fault.corrupt_bits must be >= 1");
+  }
+  config.fault_corrupt_node = static_cast<int>(corrupt_node);
+  config.fault_corrupt_at_ops = static_cast<uint64_t>(corrupt_at_ops);
+  config.fault_corrupt_bits = static_cast<int>(corrupt_bits);
+
   if (instances < 1) {
     return Status::InvalidArgument("driver_instances must be >= 1");
   }
@@ -99,6 +120,14 @@ Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
     props.Set("fault.at_ops", std::to_string(config.fault_at_ops));
     props.Set("fault.restart_after_ops",
               std::to_string(config.fault_restart_after_ops));
+  }
+  if (config.fault_corrupt_node >= 0) {
+    props.Set("fault.corrupt_sstable",
+              std::to_string(config.fault_corrupt_node));
+    props.Set("fault.corrupt_at_ops",
+              std::to_string(config.fault_corrupt_at_ops));
+    props.Set("fault.corrupt_bits",
+              std::to_string(config.fault_corrupt_bits));
   }
   return props;
 }

@@ -24,6 +24,10 @@ namespace iot {
 ///   fault.at_ops          (0)      acked kvps before the crash
 ///   fault.restart_after_ops (0)    acked kvps from crash to restart
 ///                                  (0 = restart at end of execution)
+///   fault.corrupt_sstable (-1)     node whose SSTable gets bit-rot during
+///                                  measured runs (-1 = no corruption)
+///   fault.corrupt_at_ops  (0)      acked kvps before the bit flips
+///   fault.corrupt_bits    (8)      number of random bits flipped
 ///
 /// Unknown keys are rejected so typos in sponsor configs surface instead
 /// of silently using defaults (the FDR must disclose every tunable).

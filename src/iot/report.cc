@@ -114,6 +114,36 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
                  static_cast<unsigned long long>(faults.hint_overflows),
                  static_cast<unsigned long long>(faults.recopied_kvps));
     }
+    const IntegrityStats& integrity = iter.measured.integrity;
+    if (integrity.Any()) {
+      AppendLine(&out,
+                 "  Data integrity: injected %llu corrupt files (%llu bits "
+                 "flipped), detected & quarantined %llu, %llu reads "
+                 "re-served from healthy replicas, %llu shard re-copies",
+                 static_cast<unsigned long long>(integrity.files_corrupted),
+                 static_cast<unsigned long long>(integrity.bits_flipped),
+                 static_cast<unsigned long long>(
+                     integrity.files_quarantined),
+                 static_cast<unsigned long long>(integrity.read_repairs),
+                 static_cast<unsigned long long>(integrity.shard_recopies));
+      if (integrity.files_quarantined < integrity.files_corrupted) {
+        AppendLine(&out,
+                   "  WARNING: %llu injected corrupt files were not "
+                   "detected by the scrub",
+                   static_cast<unsigned long long>(
+                       integrity.files_corrupted -
+                       integrity.files_quarantined));
+      }
+      for (size_t n = 0; n < integrity.node_wal_dropped_bytes.size(); ++n) {
+        if (integrity.node_wal_dropped_bytes[n] == 0) continue;
+        AppendLine(&out,
+                   "  WARNING: node %zu dropped %llu corrupt WAL bytes "
+                   "during recovery",
+                   n,
+                   static_cast<unsigned long long>(
+                       integrity.node_wal_dropped_bytes[n]));
+      }
+    }
     Status window = iter.measured.metrics.Validate();
     AppendLine(&out, "  [%s] measurement window: %s",
                window.ok() ? "PASS" : "FAIL",

@@ -31,6 +31,20 @@ Status Env::WriteStringToFile(const std::string& path, const Slice& contents) {
   return file->Close();
 }
 
+Status Env::OverwriteFileRange(const std::string& path, uint64_t offset,
+                               const Slice& data) {
+  // Generic fallback: read-patch-rewrite. Both built-in envs override this
+  // with a true in-place patch so open handles keep observing the file.
+  std::string contents;
+  IOTDB_RETURN_NOT_OK(ReadFileToString(path, &contents));
+  if (offset + data.size() > contents.size()) {
+    return Status::InvalidArgument(path + ": overwrite range past EOF");
+  }
+  contents.replace(static_cast<size_t>(offset), data.size(), data.data(),
+                   data.size());
+  return WriteStringToFile(path, Slice(contents));
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -218,6 +232,29 @@ class PosixEnv final : public Env {
     if (ec) return Status::IOError(from + " -> " + to + ": " + ec.message());
     return Status::OK();
   }
+
+  Status OverwriteFileRange(const std::string& path, uint64_t offset,
+                            const Slice& data) override {
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) return Status::IOError(path + ": stat failed");
+    if (offset + data.size() > size) {
+      return Status::InvalidArgument(path + ": overwrite range past EOF");
+    }
+    FILE* f = fopen(path.c_str(), "r+b");
+    if (f == nullptr) {
+      return Status::IOError(path + ": " + strerror(errno));
+    }
+    Status s;
+    if (fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+        fwrite(data.data(), 1, data.size(), f) != data.size()) {
+      s = Status::IOError(path + ": in-place overwrite failed");
+    }
+    if (fclose(f) != 0 && s.ok()) {
+      s = Status::IOError(path + ": close failed");
+    }
+    return s;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -377,6 +414,23 @@ class MemEnv final : public Env {
     if (it == fs_.files.end()) return Status::IOError(from + ": not found");
     fs_.files[to] = it->second;
     fs_.files.erase(it);
+    return Status::OK();
+  }
+
+  Status OverwriteFileRange(const std::string& path, uint64_t offset,
+                            const Slice& data) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(path);
+    if (it == fs_.files.end()) return Status::IOError(path + ": not found");
+    std::string& contents = it->second->contents;
+    if (offset + data.size() > contents.size()) {
+      return Status::InvalidArgument(path + ": overwrite range past EOF");
+    }
+    // Patch the shared MemFile in place (no reallocation: the size is
+    // unchanged) so already-open readers see the rotted bytes, exactly as
+    // they would on a real disk.
+    contents.replace(static_cast<size_t>(offset), data.size(), data.data(),
+                     data.size());
     return Status::OK();
   }
 

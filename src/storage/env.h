@@ -72,6 +72,14 @@ class Env {
   /// Writes contents to path atomically enough for our purposes.
   Status WriteStringToFile(const std::string& path, const Slice& contents);
 
+  /// Overwrites `data.size()` bytes at `offset` of an existing file *in
+  /// place*: the file keeps its size and identity, and already-open read
+  /// handles observe the new bytes. This is the primitive behind bit-rot
+  /// simulation (FaultInjectionEnv::CorruptFile); a store never calls it.
+  /// The range [offset, offset + data.size()) must lie within the file.
+  virtual Status OverwriteFileRange(const std::string& path, uint64_t offset,
+                                    const Slice& data);
+
   /// Process-wide POSIX filesystem Env.
   static Env* Posix();
 };

@@ -294,6 +294,62 @@ Status FaultInjectionEnv::Crash(const std::string& prefix) {
   return Status::OK();
 }
 
+Status FaultInjectionEnv::CorruptFile(const std::string& path, int bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (IsCrashed(path)) {
+    return Status::IOError(path + ": simulated process crash");
+  }
+  IOTDB_ASSIGN_OR_RETURN(uint64_t size, target_->FileSize(path));
+  if (size == 0) {
+    return Status::InvalidArgument(path + ": cannot bit-rot an empty file");
+  }
+  for (int i = 0; i < bits; ++i) {
+    uint64_t offset = rng_.Uniform(size);
+    int bit = static_cast<int>(rng_.Uniform(8));
+    char scratch[1];
+    // Read the current byte through a positional handle so no other state
+    // of the file is disturbed, then patch it back with one bit flipped.
+    IOTDB_ASSIGN_OR_RETURN(auto file, target_->NewRandomAccessFile(path));
+    Slice byte;
+    IOTDB_RETURN_NOT_OK(file->Read(offset, 1, &byte, scratch));
+    if (byte.size() != 1) {
+      return Status::IOError(path + ": short read during bit-rot injection");
+    }
+    char rotted = static_cast<char>(byte.data()[0] ^ (1 << bit));
+    IOTDB_RETURN_NOT_OK(
+        target_->OverwriteFileRange(path, offset, Slice(&rotted, 1)));
+    counters_.bits_flipped++;
+  }
+  if (bits > 0) counters_.files_corrupted++;
+  return Status::OK();
+}
+
+Result<std::string> FaultInjectionEnv::CorruptRandomFile(
+    const std::string& dir, FileClass file_class, int bits) {
+  std::vector<std::string> candidates;
+  {
+    IOTDB_ASSIGN_OR_RETURN(auto names, target_->ListDir(dir));
+    std::sort(names.begin(), names.end());  // determinism across Env impls
+    for (const std::string& name : names) {
+      if (ClassifyFile(name) == file_class) {
+        candidates.push_back(dir + "/" + name);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return Status::NotFound(dir + ": no live " +
+                            std::string(FileClassName(file_class)) +
+                            " file to corrupt");
+  }
+  std::string victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victim = candidates[rng_.Uniform(candidates.size())];
+  }
+  IOTDB_RETURN_NOT_OK(CorruptFile(victim, bits));
+  return victim;
+}
+
 FaultCounters FaultInjectionEnv::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
@@ -373,6 +429,13 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
     files_.erase(it);
   }
   return Status::OK();
+}
+
+Status FaultInjectionEnv::OverwriteFileRange(const std::string& path,
+                                             uint64_t offset,
+                                             const Slice& data) {
+  IOTDB_RETURN_NOT_OK(CheckAlive(path));
+  return target_->OverwriteFileRange(path, offset, data);
 }
 
 }  // namespace storage

@@ -48,6 +48,8 @@ struct FaultCounters {
   uint64_t files_dropped = 0;   // never-synced files removed by a crash
   uint64_t bytes_dropped = 0;   // unsynced bytes discarded by crashes
   uint64_t torn_tails = 0;      // crashes that left a partial (torn) record
+  uint64_t files_corrupted = 0; // files hit by bit-rot injection
+  uint64_t bits_flipped = 0;    // total bits flipped by bit-rot injection
 
   uint64_t TotalInjectedErrors() const {
     return append_errors + sync_errors + read_errors;
@@ -108,6 +110,18 @@ class FaultInjectionEnv final : public Env {
   void MarkCrashed(const std::string& prefix);
   void ClearCrashed(const std::string& prefix);
 
+  /// Flips `bits` seeded-random bits of `path` in place ("bit rot"). The
+  /// file keeps its size and already-open read handles observe the damage,
+  /// like a latent media error on a real disk. Deterministic for a fixed
+  /// seed and call sequence.
+  Status CorruptFile(const std::string& path, int bits);
+
+  /// Picks a seeded-random live file of `file_class` under `dir` and flips
+  /// `bits` of its bits. Returns the victim's path, or NotFound when the
+  /// directory holds no file of that class.
+  Result<std::string> CorruptRandomFile(const std::string& dir,
+                                        FileClass file_class, int bits);
+
   FaultCounters counters() const;
   void ResetCounters();
 
@@ -126,6 +140,8 @@ class FaultInjectionEnv final : public Env {
   Status RemoveFile(const std::string& path) override;
   Result<uint64_t> FileSize(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
+  Status OverwriteFileRange(const std::string& path, uint64_t offset,
+                            const Slice& data) override;
 
  private:
   friend class FaultWritableFile;

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "storage/compaction_filter.h"
 #include "storage/comparator.h"
+#include "storage/corruption_reporter.h"
 #include "storage/log_reader.h"
 #include "storage/merger.h"
 #include "storage/table_builder.h"
@@ -70,7 +71,10 @@ class LogCorruptionReporter final : public log::Reader::Reporter {
   void Corruption(size_t bytes, const Status& status) override {
     IOTDB_LOG(Warn) << "WAL corruption: dropped " << bytes
                     << " bytes: " << status.ToString();
+    dropped_bytes += bytes;
   }
+
+  uint64_t dropped_bytes = 0;
 };
 
 /// Iterator wrapper that keeps memtables and tables alive while the
@@ -153,6 +157,16 @@ KVStore::KVStore(const Options& options, const std::string& name)
   obs_.wal_sync_micros = registry.GetHistogram("storage.wal.sync_micros");
   obs_.group_commit_kvps =
       registry.GetHistogram("storage.wal.group_commit_kvps");
+  obs_.wal_recovery_dropped_bytes =
+      registry.GetCounter("storage.wal.recovery_dropped_bytes");
+  obs_.scrub_files_checked =
+      registry.GetCounter("storage.scrub.files_checked");
+  obs_.scrub_bytes_checked =
+      registry.GetCounter("storage.scrub.bytes_checked");
+  obs_.scrub_corruption_detected =
+      registry.GetCounter("storage.scrub.corruption_detected");
+  obs_.quarantine_files = registry.GetCounter("storage.quarantine.files");
+  obs_.quarantine_bytes = registry.GetCounter("storage.quarantine.bytes");
 }
 
 KVStore::~KVStore() {
@@ -255,7 +269,8 @@ Status KVStore::ReplayLogFile(uint64_t number) {
   IOTDB_ASSIGN_OR_RETURN(auto file,
                          env_->NewSequentialFile(LogFileName(number)));
   LogCorruptionReporter reporter;
-  log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true,
+                     LogFileName(number));
   Slice record;
   std::string scratch;
   WriteBatch batch;
@@ -265,6 +280,14 @@ Status KVStore::ReplayLogFile(uint64_t number) {
     IOTDB_RETURN_NOT_OK(batch.InsertInto(mem_));
     SequenceNumber last = batch.sequence() + batch.Count() - 1;
     last_sequence_ = std::max(last_sequence_, last);
+  }
+  if (reporter.dropped_bytes > 0) {
+    // Recovery skipped damaged regions rather than dropping them silently;
+    // the counter lets the FDR warn per node.
+    counters_.wal_recovery_dropped_bytes.Add(reporter.dropped_bytes);
+    if (obs::Enabled()) {
+      obs_.wal_recovery_dropped_bytes->Add(reporter.dropped_bytes);
+    }
   }
   return Status::OK();
 }
@@ -277,7 +300,8 @@ Status KVStore::OpenTable(uint64_t number, std::shared_ptr<FileMeta>* meta) {
   table_options.comparator = &icmp_;
   IOTDB_ASSIGN_OR_RETURN(auto table,
                          Table::Open(table_options, std::move(file),
-                                     block_cache_.get(), number));
+                                     block_cache_.get(), number,
+                                     TableFileName(number)));
   auto fm = std::make_shared<FileMeta>();
   fm->number = number;
   fm->file_size = size;
@@ -344,7 +368,15 @@ Status KVStore::LoadManifest(bool* found) {
         return Status::Corruption("bad manifest level");
       }
       std::shared_ptr<FileMeta> meta;
-      IOTDB_RETURN_NOT_OK(OpenTable(number, &meta));
+      Status open_status = OpenTable(number, &meta);
+      if (open_status.IsCorruption()) {
+        // Better to come up without the damaged table — the cluster layer
+        // re-replicates its keys from healthy peers — than to refuse to
+        // open the store at all.
+        QuarantinePath(TableFileName(number), open_status);
+        continue;
+      }
+      IOTDB_RETURN_NOT_OK(open_status);
       // Trust manifest bounds if the table was empty-scanned (shouldn't
       // happen), otherwise keep recomputed bounds.
       if (meta->smallest.empty()) {
@@ -392,6 +424,162 @@ void KVStore::RemoveObsoleteFiles() {
       env_->RemoveFile(dbname_ + "/" + name).ok();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scrub & quarantine
+// ---------------------------------------------------------------------------
+
+void KVStore::QuarantinePath(const std::string& path, const Status& cause) {
+  IOTDB_LOG(Error) << "quarantining corrupt file " << path << ": "
+                   << cause.ToString();
+  uint64_t size = 0;
+  auto size_result = env_->FileSize(path);
+  if (size_result.ok()) size = size_result.ValueOrDie();
+  // The ".quarantined" suffix keeps the file out of every live-file scan
+  // (ParseFileName no longer sees an "sst"/"log" suffix) while preserving
+  // the bytes for forensics.
+  Status rename = env_->RenameFile(path, path + ".quarantined");
+  if (!rename.ok()) {
+    IOTDB_LOG(Error) << "quarantine rename failed for " << path << ": "
+                     << rename.ToString();
+  }
+  counters_.quarantined_files.Increment();
+  if (obs::Enabled()) {
+    obs_.quarantine_files->Increment();
+    obs_.quarantine_bytes->Add(size);
+  }
+  if (options_.corruption_reporter != nullptr) {
+    options_.corruption_reporter->OnQuarantine(path, cause);
+  }
+}
+
+bool KVStore::QuarantineFileLocked(const std::shared_ptr<FileMeta>& meta,
+                                   const Status& cause) {
+  bool removed = false;
+  for (int level = 0; level < kNumLevels && !removed; ++level) {
+    auto& files = levels_.files[level];
+    auto it = std::find(files.begin(), files.end(), meta);
+    if (it != files.end()) {
+      files.erase(it);
+      removed = true;
+    }
+  }
+  if (!removed) return false;  // already quarantined or compacted away
+  QuarantinePath(TableFileName(meta->number), cause);
+  WriteManifest().ok();  // quarantine must survive a restart; best effort
+  return true;
+}
+
+void KVStore::RecordTableScrub(uint64_t bytes, bool corrupt) {
+  counters_.scrubbed_files.Increment();
+  if (obs::Enabled()) {
+    obs_.scrub_files_checked->Increment();
+    obs_.scrub_bytes_checked->Add(bytes);
+    if (corrupt) obs_.scrub_corruption_detected->Increment();
+  }
+}
+
+void KVStore::QuarantineCorruptTables(std::unique_lock<std::mutex>* lock,
+                                      ScrubReport* report) {
+  std::vector<std::shared_ptr<FileMeta>> files;
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : levels_.files[level]) files.push_back(f);
+  }
+
+  lock->unlock();
+  // Tables are immutable: verify without the lock so reads and writes
+  // proceed while the scrub walks checksums.
+  std::vector<std::pair<std::shared_ptr<FileMeta>, Status>> corrupt;
+  for (const auto& f : files) {
+    uint64_t bytes = 0;
+    Status s = f->table->VerifyIntegrity(&bytes);
+    report->files_checked++;
+    report->bytes_checked += bytes;
+    RecordTableScrub(bytes, !s.ok());
+    if (!s.ok()) {
+      report->corrupt_files++;
+      report->corrupt_paths.push_back(TableFileName(f->number));
+      corrupt.emplace_back(f, s);
+    }
+  }
+  lock->lock();
+
+  for (const auto& [meta, cause] : corrupt) {
+    if (QuarantineFileLocked(meta, cause)) report->quarantined_files++;
+  }
+}
+
+bool KVStore::IsLiveTableFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : levels_.files[level]) {
+      if (TableFileName(f->number) == path) return true;
+    }
+  }
+  return false;
+}
+
+Status KVStore::VerifyWalTailLocked(uint64_t* dropped_bytes) {
+  IOTDB_ASSIGN_OR_RETURN(auto file,
+                         env_->NewSequentialFile(LogFileName(log_number_)));
+  LogCorruptionReporter reporter;
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true,
+                     LogFileName(log_number_));
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+  }
+  *dropped_bytes += reporter.dropped_bytes;
+  return Status::OK();
+}
+
+Status KVStore::VerifyIntegrity(ScrubReport* report) {
+  ScrubReport local;
+  ScrubReport* rep = report != nullptr ? report : &local;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce the group-commit leader so the WAL's flushed prefix is stable
+  // (appends happen only while leader_active_, and new leaders need mu_).
+  // The live WAL is checked but never quarantined: its records also live
+  // in the memtable, and rotation retires it naturally.
+  while (leader_active_) {
+    background_work_finished_cv_.wait(lock);
+  }
+  if (log_file_ != nullptr) {
+    log_file_->Flush().ok();
+    IOTDB_RETURN_NOT_OK(VerifyWalTailLocked(&rep->wal_dropped_bytes));
+  }
+  QuarantineCorruptTables(&lock, rep);
+  return Status::OK();
+}
+
+Status KVStore::ScrubOneQueued(std::unique_lock<std::mutex>* lock) {
+  std::shared_ptr<FileMeta> meta;
+  while (meta == nullptr && !pending_scrub_.empty()) {
+    uint64_t number = pending_scrub_.front();
+    pending_scrub_.pop_front();
+    for (int level = 0; level < kNumLevels && meta == nullptr; ++level) {
+      for (const auto& f : levels_.files[level]) {
+        if (f->number == number) {
+          meta = f;
+          break;
+        }
+      }
+    }
+  }
+  if (meta == nullptr) return Status::OK();  // compacted away meanwhile
+
+  lock->unlock();
+  uint64_t bytes = 0;
+  Status s = meta->table->VerifyIntegrity(&bytes);
+  lock->lock();
+
+  RecordTableScrub(bytes, !s.ok());
+  if (!s.ok()) {
+    QuarantineFileLocked(meta, s);
+  }
+  return Status::OK();  // a corrupt finding is healed, not a background error
 }
 
 // ---------------------------------------------------------------------------
@@ -574,7 +762,9 @@ Status KVStore::SwitchMemTable() {
 
 void KVStore::MaybeScheduleBackgroundWork() {
   if (background_scheduled_ || shutting_down_) return;
-  if (imm_ == nullptr && !NeedsCompaction()) return;
+  if (imm_ == nullptr && !NeedsCompaction() && pending_scrub_.empty()) {
+    return;
+  }
   background_scheduled_ = true;
   background_pool_->Submit([this] { BackgroundCall(); });
 }
@@ -588,10 +778,32 @@ void KVStore::BackgroundCall() {
       s = CompactMemTable(&lock);
     } else if (NeedsCompaction()) {
       s = RunCompaction(&lock);
+    } else if (!pending_scrub_.empty()) {
+      // Idle cycle: pace the background scrubber between compactions.
+      s = ScrubOneQueued(&lock);
     }
     if (!s.ok()) {
       IOTDB_LOG(Error) << "background work failed: " << s.ToString();
-      background_error_ = s;
+      if (s.IsCorruption()) {
+        // A corrupt input must not poison the store forever: quarantine
+        // whatever fails verification and let the retry run against the
+        // survivors. Zero quarantines means every live table is clean —
+        // the corrupt input was already quarantined out from under this
+        // work unit (e.g. by a concurrent scrub), so a retry succeeds;
+        // bounded, because rot that keeps reappearing on clean tables
+        // means the media corrupts faster than we can quarantine.
+        ScrubReport report;
+        QuarantineCorruptTables(&lock, &report);
+        if (report.quarantined_files > 0) {
+          background_corruption_retries_ = 0;
+        } else if (++background_corruption_retries_ > 3) {
+          background_error_ = s;
+        }
+      } else {
+        background_error_ = s;
+      }
+    } else {
+      background_corruption_retries_ = 0;
     }
   }
   background_scheduled_ = false;
@@ -645,6 +857,7 @@ Status KVStore::CompactMemTable(std::unique_lock<std::mutex>* lock) {
       obs_.memtable_flushes->Increment();
       obs_.bytes_flushed->Add(meta->file_size);
     }
+    if (options_.background_scrub) pending_scrub_.push_back(meta->number);
   }
   imm_->Unref();
   imm_ = nullptr;
@@ -891,6 +1104,7 @@ Status KVStore::RunCompactionAtLevel(int level,
     dst.insert(pos, out);
     counters_.bytes_compacted.Add(out->file_size);
     if (obs::Enabled()) obs_.compaction_bytes_written->Add(out->file_size);
+    if (options_.background_scrub) pending_scrub_.push_back(out->number);
   }
   counters_.compactions.Increment();
   counters_.bytes_compacted.Add(bytes_read);
@@ -992,7 +1206,16 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
   for (const auto& f : candidates) {
     Status ts = f->table->InternalGet(options, Slice(lookup_key), &state,
                                       GetHandler);
-    if (!ts.ok()) return ts;
+    if (!ts.ok()) {
+      if (ts.IsCorruption()) {
+        // Evict the damaged table right away so it never serves another
+        // read; the caller still sees the corruption and can fail over to
+        // a healthy replica.
+        std::lock_guard<std::mutex> lock(mu_);
+        QuarantineFileLocked(f, ts);
+      }
+      return ts;
+    }
   }
   if (!state.found || state.is_deletion) {
     return Status::NotFound("key not found");
@@ -1126,6 +1349,10 @@ KVStoreStats KVStore::GetStats() {
   stats.write_stall_micros = counters_.write_stall_micros.Value();
   stats.bytes_flushed = counters_.bytes_flushed.Value();
   stats.bytes_compacted = counters_.bytes_compacted.Value();
+  stats.wal_recovery_dropped_bytes =
+      counters_.wal_recovery_dropped_bytes.Value();
+  stats.scrubbed_files = counters_.scrubbed_files.Value();
+  stats.quarantined_files = counters_.quarantined_files.Value();
   {
     // Only the level file lists still need the store mutex.
     std::lock_guard<std::mutex> lock(mu_);

@@ -46,6 +46,19 @@ struct KVStoreStats {
   uint64_t level_bytes[kNumLevels] = {};
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
+  uint64_t wal_recovery_dropped_bytes = 0;
+  uint64_t scrubbed_files = 0;
+  uint64_t quarantined_files = 0;
+};
+
+/// Outcome of one KVStore::VerifyIntegrity pass.
+struct ScrubReport {
+  uint64_t files_checked = 0;
+  uint64_t bytes_checked = 0;
+  uint64_t corrupt_files = 0;      // failed checksum verification
+  uint64_t quarantined_files = 0;  // removed from the live set & moved aside
+  uint64_t wal_dropped_bytes = 0;  // corrupt bytes found in the live WAL tail
+  std::vector<std::string> corrupt_paths;
 };
 
 /// A single-node LSM key-value store (the HBase region-server storage
@@ -104,6 +117,21 @@ class KVStore {
   /// Compacts everything down to the last populated level and waits.
   Status CompactAll();
 
+  /// Scrub: checksum-walks every live SSTable (footer, index, filter, and
+  /// every data block, bypassing the block cache) plus the live WAL tail.
+  /// Files that fail verification are atomically quarantined — renamed to
+  /// `<name>.quarantined`, dropped from the version set, and reported via
+  /// Options::corruption_reporter — so they never serve another read.
+  /// Returns non-OK only when the walk itself could not run; corruption
+  /// found (and healed by quarantine) is described by `report`.
+  Status VerifyIntegrity(ScrubReport* report = nullptr);
+
+  /// True iff `path` names a table file currently in the version set.
+  /// Obsolete files (compacted away, possibly still on disk) and
+  /// quarantined files are not live: their bytes can no longer reach a
+  /// fresh read.
+  bool IsLiveTableFile(const std::string& path);
+
   /// Blocks until no background work is queued or running.
   void WaitForBackgroundWork();
 
@@ -145,6 +173,16 @@ class KVStore {
   Status WriteManifest();  // mu_ held
   Status LoadManifest(bool* found);
   void RemoveObsoleteFiles();  // mu_ held
+
+  // Scrub & quarantine (see VerifyIntegrity).
+  void QuarantinePath(const std::string& path, const Status& cause);
+  bool QuarantineFileLocked(const std::shared_ptr<FileMeta>& meta,
+                            const Status& cause);  // mu_ held
+  void QuarantineCorruptTables(std::unique_lock<std::mutex>* lock,
+                               ScrubReport* report);
+  Status VerifyWalTailLocked(uint64_t* dropped_bytes);  // mu_ held
+  Status ScrubOneQueued(std::unique_lock<std::mutex>* lock);
+  void RecordTableScrub(uint64_t bytes, bool corrupt);
 
   SequenceNumber SmallestSnapshot() const;  // mu_ held
 
@@ -188,10 +226,18 @@ class KVStore {
   std::unique_ptr<ThreadPool> background_pool_;
   bool background_scheduled_ = false;
   bool shutting_down_ = false;
+  // File numbers of freshly installed tables awaiting a background scrub
+  // (Options::background_scrub); one is verified per idle background cycle.
+  std::deque<uint64_t> pending_scrub_;
   // True while a group-commit leader performs WAL/memtable work outside the
   // lock; memtable switches by other threads must wait on it.
   bool leader_active_ = false;
   Status background_error_;
+  // Consecutive background corruption failures where every live table still
+  // verified clean (the corrupt input was already quarantined, or the rot
+  // hit a not-yet-installed output). Such failures are retried; the cap
+  // stops a store whose media rots every write.
+  int background_corruption_retries_ = 0;
 
   /// Per-store atomic counters backing GetStats(). Always incremented (the
   /// obs enable switch only gates the *global* registry mirrors and timer
@@ -205,6 +251,9 @@ class KVStore {
     obs::Counter write_stall_micros;
     obs::Counter bytes_flushed;
     obs::Counter bytes_compacted;
+    obs::Counter wal_recovery_dropped_bytes;
+    obs::Counter scrubbed_files;
+    obs::Counter quarantined_files;
   };
   StoreCounters counters_;
 
@@ -225,6 +274,12 @@ class KVStore {
     obs::LatencyHistogram* wal_append_micros;
     obs::LatencyHistogram* wal_sync_micros;
     obs::LatencyHistogram* group_commit_kvps;
+    obs::Counter* wal_recovery_dropped_bytes;
+    obs::Counter* scrub_files_checked;
+    obs::Counter* scrub_bytes_checked;
+    obs::Counter* scrub_corruption_detected;
+    obs::Counter* quarantine_files;
+    obs::Counter* quarantine_bytes;
   };
   ObsInstruments obs_;
 };

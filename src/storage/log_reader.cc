@@ -9,13 +9,16 @@ namespace iotdb {
 namespace storage {
 namespace log {
 
-Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum)
+Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum,
+               std::string name)
     : file_(file),
       reporter_(reporter),
       checksum_(checksum),
+      name_(std::move(name)),
       backing_store_(new char[kBlockSize]),
       buffer_(),
-      eof_(false) {}
+      eof_(false),
+      end_of_buffer_offset_(0) {}
 
 bool Reader::ReadRecord(Slice* record, std::string* scratch) {
   scratch->clear();
@@ -95,6 +98,7 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
         buffer_.clear();
         Status status = file_->Read(kBlockSize, &buffer_,
                                     backing_store_.get());
+        end_of_buffer_offset_ += buffer_.size();
         if (!status.ok()) {
           buffer_.clear();
           ReportDrop(kBlockSize, status);
@@ -150,7 +154,13 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
 }
 
 void Reader::ReportCorruption(uint64_t bytes, const char* reason) {
-  ReportDrop(bytes, Status::Corruption(reason));
+  // Identify the damaged region: file path plus the offset of the data
+  // still buffered when the problem was noticed.
+  std::string msg(reason);
+  msg += " near offset " +
+         std::to_string(end_of_buffer_offset_ - buffer_.size());
+  if (!name_.empty()) msg += " of " + name_;
+  ReportDrop(bytes, Status::Corruption(msg));
 }
 
 void Reader::ReportDrop(uint64_t bytes, const Status& reason) {

@@ -26,8 +26,11 @@ class Reader {
     virtual void Corruption(size_t bytes, const Status& status) = 0;
   };
 
-  /// file must remain live while the Reader is in use.
-  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+  /// file must remain live while the Reader is in use. `name` is the log's
+  /// file path, used only to contextualise corruption reports; empty is
+  /// allowed.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum,
+         std::string name = "");
 
   Reader(const Reader&) = delete;
   Reader& operator=(const Reader&) = delete;
@@ -47,9 +50,11 @@ class Reader {
   SequentialFile* const file_;
   Reporter* const reporter_;
   bool const checksum_;
+  const std::string name_;  // file path for error context; may be empty
   std::unique_ptr<char[]> backing_store_;
   Slice buffer_;
   bool eof_;
+  uint64_t end_of_buffer_offset_;  // file offset just past buffer_'s bytes
 };
 
 }  // namespace log

@@ -11,6 +11,7 @@ namespace storage {
 
 class CompactionFilter;
 class Comparator;
+class CorruptionReporter;
 class Env;
 
 /// Tuning knobs of the LSM engine. Defaults mirror the spirit of the paper's
@@ -66,6 +67,16 @@ struct Options {
   /// Optional hook dropping entries during compaction (data retention);
   /// see compaction_filter.h. Not owned; must outlive the store.
   const CompactionFilter* compaction_filter = nullptr;
+
+  /// Optional callback fired when verification quarantines a corrupt file
+  /// (see corruption_reporter.h). Not owned; must outlive the store. May be
+  /// invoked with store locks held — implementations must only enqueue.
+  CorruptionReporter* corruption_reporter = nullptr;
+
+  /// Background scrub: newly flushed/compacted SSTables are queued and one
+  /// is checksum-verified per idle background cycle, between compactions.
+  /// KVStore::VerifyIntegrity() is always available regardless.
+  bool background_scrub = false;
 };
 
 /// Per-read options.

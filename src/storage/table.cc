@@ -12,44 +12,63 @@
 namespace iotdb {
 namespace storage {
 
+namespace {
+
+/// "<reason> in block at offset N of <name>" — the file path and block
+/// offset let quarantine logs and FDR entries identify the bad file.
+Status BlockCorruption(const char* reason, const BlockHandle& handle,
+                       const std::string& name) {
+  std::string msg(reason);
+  msg += " in block at offset " + std::to_string(handle.offset);
+  if (!name.empty()) msg += " of " + name;
+  return Status::Corruption(msg);
+}
+
+}  // namespace
+
 Result<std::string> ReadBlockContents(const RandomAccessFile* file,
                                       const BlockHandle& handle,
-                                      bool verify_checksums) {
+                                      bool verify_checksums,
+                                      const std::string& name) {
   size_t n = static_cast<size_t>(handle.size);
   std::vector<char> scratch(n + kBlockTrailerSize);
   Slice contents;
   IOTDB_RETURN_NOT_OK(file->Read(handle.offset, n + kBlockTrailerSize,
                                  &contents, scratch.data()));
   if (contents.size() != n + kBlockTrailerSize) {
-    return Status::Corruption("truncated block read");
+    return BlockCorruption("truncated block read", handle, name);
   }
   const char* data = contents.data();
   if (verify_checksums) {
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
     if (actual != crc) {
-      return Status::Corruption("block checksum mismatch");
+      return BlockCorruption("block checksum mismatch", handle, name);
     }
   }
   if (data[n] != 0) {
-    return Status::Corruption("unsupported block compression type");
+    return BlockCorruption("unsupported block compression type", handle,
+                           name);
   }
   return std::string(data, n);
 }
 
 Table::Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
-             LruCache* cache, uint64_t cache_id)
+             LruCache* cache, uint64_t cache_id, std::string name)
     : options_(options),
       file_(std::move(file)),
       cache_(cache),
-      cache_id_(cache_id) {}
+      cache_id_(cache_id),
+      name_(std::move(name)) {}
 
 Result<std::unique_ptr<Table>> Table::Open(
     const Options& options, std::unique_ptr<RandomAccessFile> file,
-    LruCache* cache, uint64_t cache_id) {
+    LruCache* cache, uint64_t cache_id, const std::string& name) {
   uint64_t size = file->Size();
   if (size < Footer::kEncodedLength) {
-    return Status::Corruption("file is too short to be an sstable");
+    return Status::Corruption(
+        (name.empty() ? std::string("file") : name) +
+        " is too short to be an sstable");
   }
   char footer_space[Footer::kEncodedLength];
   Slice footer_input;
@@ -60,19 +79,19 @@ Result<std::unique_ptr<Table>> Table::Open(
   IOTDB_RETURN_NOT_OK(footer.DecodeFrom(&footer_input));
 
   auto table = std::unique_ptr<Table>(
-      new Table(options, std::move(file), cache, cache_id));
+      new Table(options, std::move(file), cache, cache_id, name));
 
   IOTDB_ASSIGN_OR_RETURN(
       std::string index_contents,
       ReadBlockContents(table->file_.get(), footer.index_handle,
-                        options.verify_checksums));
+                        options.verify_checksums, name));
   table->index_block_ = std::make_unique<Block>(std::move(index_contents));
 
   if (footer.filter_handle.size > 0) {
     IOTDB_ASSIGN_OR_RETURN(
         table->filter_data_,
         ReadBlockContents(table->file_.get(), footer.filter_handle,
-                          options.verify_checksums));
+                          options.verify_checksums, name));
   }
   return table;
 }
@@ -80,6 +99,7 @@ Result<std::unique_ptr<Table>> Table::Open(
 Result<std::shared_ptr<Block>> Table::ReadBlockCached(
     const ReadOptions& read_options, const BlockHandle& handle) const {
   std::string cache_key;
+  const bool will_cache = cache_ != nullptr && read_options.fill_cache;
   if (cache_ != nullptr) {
     cache_key.reserve(16);
     PutFixed64(&cache_key, cache_id_);
@@ -88,14 +108,80 @@ Result<std::shared_ptr<Block>> Table::ReadBlockCached(
       return std::static_pointer_cast<Block>(cached);
     }
   }
+  // A block headed for the shared cache is always CRC-checked, even when
+  // this reader skipped verification: a corrupt insert would be served to
+  // every later reader, including ones that asked for verification.
   IOTDB_ASSIGN_OR_RETURN(
       std::string contents,
-      ReadBlockContents(file_.get(), handle, read_options.verify_checksums));
+      ReadBlockContents(file_.get(), handle,
+                        read_options.verify_checksums || will_cache, name_));
   auto block = std::make_shared<Block>(std::move(contents));
-  if (cache_ != nullptr && read_options.fill_cache) {
+  if (will_cache) {
     cache_->Insert(cache_key, block, block->size());
   }
   return block;
+}
+
+Status Table::VerifyIntegrity(uint64_t* bytes_checked) const {
+  uint64_t checked = 0;
+  Status s;
+  do {
+    // Footer: re-read and re-decode (DecodeFrom validates the magic).
+    uint64_t size = file_->Size();
+    if (size < Footer::kEncodedLength) {
+      s = Status::Corruption(
+          (name_.empty() ? std::string("file") : name_) +
+          " is too short to be an sstable");
+      break;
+    }
+    char footer_space[Footer::kEncodedLength];
+    Slice footer_input;
+    s = file_->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                    &footer_input, footer_space);
+    if (!s.ok()) break;
+    Footer footer;
+    s = footer.DecodeFrom(&footer_input);
+    if (!s.ok()) break;
+    checked += Footer::kEncodedLength;
+
+    // Index and filter blocks, checksummed, straight from the file.
+    auto index = ReadBlockContents(file_.get(), footer.index_handle,
+                                   /*verify_checksums=*/true, name_);
+    if (!index.ok()) {
+      s = index.status();
+      break;
+    }
+    checked += footer.index_handle.size + kBlockTrailerSize;
+    if (footer.filter_handle.size > 0) {
+      auto filter = ReadBlockContents(file_.get(), footer.filter_handle,
+                                      /*verify_checksums=*/true, name_);
+      if (!filter.ok()) {
+        s = filter.status();
+        break;
+      }
+      checked += footer.filter_handle.size + kBlockTrailerSize;
+    }
+
+    // Every data block the (just re-verified) index references.
+    Block index_block(std::move(index).MoveValueUnsafe());
+    auto iter = index_block.NewIterator(options_.comparator);
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      BlockHandle handle;
+      Slice input = iter->value();
+      s = handle.DecodeFrom(&input);
+      if (!s.ok()) break;
+      auto data = ReadBlockContents(file_.get(), handle,
+                                    /*verify_checksums=*/true, name_);
+      if (!data.ok()) {
+        s = data.status();
+        break;
+      }
+      checked += handle.size + kBlockTrailerSize;
+    }
+    if (s.ok()) s = iter->status();
+  } while (false);
+  if (bytes_checked != nullptr) *bytes_checked += checked;
+  return s;
 }
 
 namespace {

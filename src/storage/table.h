@@ -25,9 +25,11 @@ class Table {
  public:
   /// Opens a table over `file` (whose lifetime the Table takes over).
   /// cache may be null; cache_id must be unique per table when caching.
+  /// `name` is the file path, used only to contextualise corruption
+  /// statuses; empty is allowed.
   static Result<std::unique_ptr<Table>> Open(
       const Options& options, std::unique_ptr<RandomAccessFile> file,
-      LruCache* cache, uint64_t cache_id);
+      LruCache* cache, uint64_t cache_id, const std::string& name = "");
 
   ~Table() = default;
   Table(const Table&) = delete;
@@ -47,6 +49,15 @@ class Table {
 
   uint64_t ApproximateBloomSizeBytes() const { return filter_data_.size(); }
 
+  /// Full-file checksum walk: re-reads the footer, index block, filter
+  /// block, and every data block straight from the file with checksum
+  /// verification on, bypassing the block cache. Returns the first
+  /// corruption found; `bytes_checked` (optional) accumulates the bytes
+  /// verified either way. Safe to call concurrently with reads.
+  Status VerifyIntegrity(uint64_t* bytes_checked = nullptr) const;
+
+  const std::string& name() const { return name_; }
+
   /// Reads, checksums, and parses a block. Uses the block cache when
   /// enabled. Public because the two-level iterator implementation uses it.
   Result<std::shared_ptr<Block>> ReadBlockCached(
@@ -57,20 +68,23 @@ class Table {
 
  private:
   Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
-        LruCache* cache, uint64_t cache_id);
+        LruCache* cache, uint64_t cache_id, std::string name);
 
   Options options_;
   std::unique_ptr<RandomAccessFile> file_;
   LruCache* cache_;
   uint64_t cache_id_;
+  std::string name_;  // file path for error context; may be empty
   std::unique_ptr<Block> index_block_;
   std::string filter_data_;  // empty when the table has no bloom filter
 };
 
 /// Reads and verifies one raw block (without caching). Exposed for tests.
+/// `name` contextualises corruption statuses; empty is allowed.
 Result<std::string> ReadBlockContents(const RandomAccessFile* file,
                                       const BlockHandle& handle,
-                                      bool verify_checksums);
+                                      bool verify_checksums,
+                                      const std::string& name = "");
 
 }  // namespace storage
 }  // namespace iotdb

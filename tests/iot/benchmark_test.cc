@@ -292,6 +292,62 @@ TEST(BenchmarkDriverTest, FaultScheduleKillsAndRecoversANode) {
   EXPECT_GT(restarted, 0u);
 }
 
+TEST(BenchmarkDriverTest, CorruptionScheduleDetectsAndRepairs) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication_factor = 3;
+  options.shard_key_fn = TpcxIotShardKey;
+  options.storage_options.write_buffer_size = 64 * 1024;
+  options.enable_fault_injection = true;
+  options.fault_seed = 33;
+  auto sut = cluster::Cluster::Start(options).MoveValueUnsafe();
+
+  BenchmarkConfig config;
+  config.num_driver_instances = 2;
+  config.total_kvps = 20000;
+  config.batch_size = 200;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_corrupt_node = 1;
+  config.fault_corrupt_at_ops = 4000;
+  config.fault_corrupt_bits = 16;
+
+  BenchmarkDriver driver(config, sut.get());
+  WorkloadExecution execution = driver.ExecuteWorkload();
+  ASSERT_TRUE(execution.status.ok()) << execution.status.ToString();
+  EXPECT_EQ(execution.metrics.kvps_ingested, 20000u);
+
+  // Injected damage was detected, quarantined, and healed during the run:
+  // the FDR's "detected == repaired" invariant.
+  EXPECT_EQ(execution.integrity.files_corrupted, 1u);
+  EXPECT_EQ(execution.integrity.bits_flipped, 16u);
+  EXPECT_EQ(execution.integrity.files_quarantined, 1u);
+  EXPECT_EQ(execution.integrity.shard_recopies, 1u);
+  EXPECT_TRUE(execution.integrity.Any());
+
+  // The repaired node converged with its replicas (rf == nodes, so every
+  // node holds every key) and nothing is left pending.
+  EXPECT_TRUE(sut->PendingRepairNodes().empty());
+  EXPECT_FALSE(sut->node(1)->under_repair());
+  ASSERT_TRUE(sut->FlushAll().ok());
+  EXPECT_EQ(sut->node(1)->store()->CountKeysSlow(),
+            sut->node(0)->store()->CountKeysSlow());
+}
+
+TEST(BenchmarkDriverTest, RejectsCorruptionScheduleWithoutFaultEnv) {
+  auto sut = MakeSut(3);  // no fault injection enabled
+  BenchmarkConfig config;
+  config.num_driver_instances = 1;
+  config.total_kvps = 1000;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_corrupt_node = 0;
+  BenchmarkDriver driver(config, sut.get());
+  BenchmarkResult result = driver.Run();
+  EXPECT_TRUE(result.status.IsInvalidArgument()) << result.status.ToString();
+  EXPECT_EQ(result.invalid_reason, "invalid fault schedule");
+}
+
 TEST(BenchmarkDriverTest, RejectsFaultScheduleForMissingNode) {
   auto sut = MakeSut(3);
   BenchmarkConfig config;

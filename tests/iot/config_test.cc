@@ -108,6 +108,45 @@ TEST(BenchmarkConfigTest, FaultScheduleValidated) {
   EXPECT_FALSE(LoadBenchmarkConfig(negative).ok());
 }
 
+TEST(BenchmarkConfigTest, ParsesCorruptionSchedule) {
+  Properties props;
+  ASSERT_TRUE(props
+                  .ParseText("fault.corrupt_sstable=2\n"
+                             "fault.corrupt_at_ops=4000\n"
+                             "fault.corrupt_bits=16\n")
+                  .ok());
+  auto result = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().fault_corrupt_node, 2);
+  EXPECT_EQ(result.ValueOrDie().fault_corrupt_at_ops, 4000u);
+  EXPECT_EQ(result.ValueOrDie().fault_corrupt_bits, 16);
+
+  // Defaults: no corruption schedule.
+  Properties empty;
+  EXPECT_EQ(LoadBenchmarkConfig(empty).ValueOrDie().fault_corrupt_node, -1);
+
+  // Round-trip through the serialized form.
+  Properties serialized =
+      BenchmarkConfigToProperties(result.ValueOrDie());
+  auto restored = LoadBenchmarkConfig(serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie().fault_corrupt_node, 2);
+  EXPECT_EQ(restored.ValueOrDie().fault_corrupt_at_ops, 4000u);
+  EXPECT_EQ(restored.ValueOrDie().fault_corrupt_bits, 16);
+}
+
+TEST(BenchmarkConfigTest, CorruptionScheduleValidated) {
+  Properties orphan_threshold;
+  orphan_threshold.Set("fault.corrupt_at_ops", "100");  // no target node
+  EXPECT_TRUE(
+      LoadBenchmarkConfig(orphan_threshold).status().IsInvalidArgument());
+
+  Properties zero_bits;
+  zero_bits.Set("fault.corrupt_sstable", "0");
+  zero_bits.Set("fault.corrupt_bits", "0");
+  EXPECT_TRUE(LoadBenchmarkConfig(zero_bits).status().IsInvalidArgument());
+}
+
 TEST(BenchmarkConfigTest, FaultScheduleRoundTrips) {
   BenchmarkConfig config;
   config.fault_kill_node = 2;

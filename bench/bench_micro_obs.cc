@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -21,6 +22,17 @@ constexpr uint64_t kOpsPerTrial = 4 * 1000 * 1000;
 // cache) or the always-on per-store counters in the storage layer become a
 // measurable tax on the write path.
 constexpr double kCounterBudgetNs = 10.0;
+
+// TraceBuffer::Record with tracing disabled is a single relaxed load and a
+// branch — the price every instrumented call site pays all the time, so it
+// shares the counter budget.
+constexpr double kDisabledTraceBudgetNs = 10.0;
+
+// Enabled span record: two relaxed ring-slot stores plus a release head
+// publish, no locks and no allocation. Generous bound; it exists to catch a
+// regression that adds a lock or a syscall to the hot path, not to measure
+// the exact store cost.
+constexpr double kEnabledTraceBudgetNs = 200.0;
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -76,20 +88,57 @@ int main() {
          timer_ns);
   iotdb::obs::SetEnabled(true);
 
+  // Tracing disabled (the default): Record must be a single branch.
+  double trace_off_ns = MinNsPerOp([&](uint64_t i) {
+    iotdb::obs::TraceBuffer::Record("bench.span", i, 1);
+  });
+  printf("  %-44s %8.2f ns/op (budget %.0f)\n",
+         "TraceBuffer::Record (tracing disabled)", trace_off_ns,
+         kDisabledTraceBudgetNs);
+
+  // Tracing enabled: relaxed stores into the per-thread ring.
+  iotdb::obs::TraceBuffer::StartTracing();
+  double trace_on_ns = MinNsPerOp([&](uint64_t i) {
+    iotdb::obs::TraceBuffer::Record("bench.span", i, 1, "i", i);
+  });
+  uint64_t traced =
+      iotdb::obs::TraceBuffer::Snapshot().size() +
+      iotdb::obs::TraceBuffer::DroppedSpans();
+  iotdb::obs::TraceBuffer::StopTracing();
+  printf("  %-44s %8.2f ns/op (budget %.0f)\n",
+         "TraceBuffer::Record (tracing enabled)", trace_on_ns,
+         kEnabledTraceBudgetNs);
+
   // Sanity: the side effects above really happened.
-  if (counter.Value() == 0 || hist.TakeSnapshot().count == 0) {
+  if (counter.Value() == 0 || hist.TakeSnapshot().count == 0 ||
+      traced == 0) {
     fprintf(stderr, "FAIL: instrument side effects were optimized away\n");
     return 1;
   }
 
+  bool failed = false;
   if (counter_ns >= kCounterBudgetNs) {
     fprintf(stderr,
             "\nFAIL: uncontended counter increment %.2f ns/op exceeds the "
             "%.0f ns budget\n",
             counter_ns, kCounterBudgetNs);
-    return 1;
+    failed = true;
   }
-  printf("\nPASS: counter increment within the %.0f ns budget\n",
-         kCounterBudgetNs);
+  if (trace_off_ns >= kDisabledTraceBudgetNs) {
+    fprintf(stderr,
+            "\nFAIL: disabled-tracing span record %.2f ns/op exceeds the "
+            "%.0f ns budget\n",
+            trace_off_ns, kDisabledTraceBudgetNs);
+    failed = true;
+  }
+  if (trace_on_ns >= kEnabledTraceBudgetNs) {
+    fprintf(stderr,
+            "\nFAIL: enabled span record %.2f ns/op exceeds the %.0f ns "
+            "budget\n",
+            trace_on_ns, kEnabledTraceBudgetNs);
+    failed = true;
+  }
+  if (failed) return 1;
+  printf("\nPASS: all hot-path instruments within budget\n");
   return 0;
 }

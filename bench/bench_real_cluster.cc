@@ -5,15 +5,20 @@
 // point is that the entire code path the paper describes executes natively
 // end to end, not just in the calibrated model.
 //
-//   --kvps=N           total kvps per run (default 40000)
-//   --subs=N           substations (default 2)
-//   --metrics-out=FILE obs registry snapshot (JSON) across all runs
-//   --scrub            enable background scrubbing on every store and run a
-//                      full integrity verification after each cluster's runs
+//   --kvps=N            total kvps per run (default 40000)
+//   --subs=N            substations (default 2)
+//   --metrics-out=FILE  obs registry snapshot (JSON) across all runs
+//   --timeline-out=FILE per-second registry-delta timeline (JSON) across
+//                       all runs
+//   --trace-out=FILE    span trace (Chrome trace_event JSON, open in
+//                       Perfetto) across all runs
+//   --scrub             enable background scrubbing on every store and run a
+//                       full integrity verification after each cluster's runs
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "bench_util.h"
 #include "cluster/cluster.h"
 #include "iot/benchmark_driver.h"
 #include "obs/metrics.h"
@@ -24,7 +29,9 @@ int main(int argc, char** argv) {
   uint64_t total_kvps = 40000;
   int substations = 2;
   bool scrub = false;
-  std::string metrics_out;
+  // Shared flags (--metrics-out/--timeline-out/--trace-out) come from
+  // benchutil; ParseArgs ignores this bench's own flags and vice versa.
+  benchutil::Args args = benchutil::ParseArgs(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (strncmp(argv[i], "--kvps=", 7) == 0) {
       total_kvps = strtoull(argv[i] + 7, nullptr, 10);
@@ -32,10 +39,9 @@ int main(int argc, char** argv) {
       substations = atoi(argv[i] + 7);
     } else if (strcmp(argv[i], "--scrub") == 0) {
       scrub = true;
-    } else if (strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
     }
   }
+  benchutil::StartCollection(args);
 
   printf("============================================================\n");
   printf("Real-execution kit run (in-process cluster on this host)\n");
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   printf("%8s %14s %14s %14s %12s\n", "nodes", "IoTps", "measured[s]",
          "queries", "q-avg[ms]");
 
+  uint64_t total_ingested = 0;  // across every warmup + measured run
   for (int nodes : {2, 4, 8}) {
     cluster::ClusterOptions cluster_options;
     cluster_options.num_nodes = nodes;
@@ -71,6 +78,10 @@ int main(int argc, char** argv) {
     if (!result.status.ok()) {
       fprintf(stderr, "run failed: %s\n", result.status.ToString().c_str());
       return 1;
+    }
+    for (const auto& iter : result.iterations) {
+      total_ingested += iter.warmup.metrics.kvps_ingested +
+                        iter.measured.metrics.kvps_ingested;
     }
     const auto& measured =
         result.iterations[result.performance_run].measured;
@@ -99,18 +110,8 @@ int main(int argc, char** argv) {
   printf("\nNote: single-host numbers; replication work scales with "
          "min(3, nodes), so more nodes = more total writes on one "
          "machine.\n");
-  if (!metrics_out.empty()) {
-    std::string json =
-        obs::MetricsRegistry::Global().TakeSnapshot().ToJson();
-    FILE* f = fopen(metrics_out.c_str(), "w");
-    if (f != nullptr) {
-      fwrite(json.data(), 1, json.size(), f);
-      fclose(f);
-      printf("metrics snapshot written to %s (%zu bytes)\n",
-             metrics_out.c_str(), json.size());
-    } else {
-      fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
-    }
-  }
+  benchutil::MaybeWriteMetrics(args);
+  benchutil::MaybeWriteTimeline(args, total_ingested);
+  benchutil::MaybeWriteTrace(args);
   return 0;
 }

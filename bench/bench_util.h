@@ -10,10 +10,12 @@
 
 #include "iot/experiments.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 
 namespace benchutil {
 
-/// Common command line for the figure benches:
+/// Common command line for the bench binaries:
 ///   --scale=N            divide kvp counts and the run-time floors by N
 ///                        for quick runs (curve shapes preserved).
 ///                        Default 1 = paper scale.
@@ -21,9 +23,16 @@ namespace benchutil {
 ///   --metrics-out=FILE   write an obs registry snapshot (JSON) of the
 ///                        bench's runs to FILE. Disables the sweep result
 ///                        cache, since cached runs produce no metrics.
+///   --timeline-out=FILE  sample the registry once per second for the whole
+///                        bench and write the per-interval timeline (JSON).
+///   --trace-out=FILE     collect spans (WAL commits, flushes, compactions,
+///                        fan-out, queries, ...) and write Chrome
+///                        trace_event JSON; open in Perfetto.
 struct Args {
   uint64_t scale = 1;
   std::string metrics_out;
+  std::string timeline_out;
+  std::string trace_out;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -38,6 +47,10 @@ inline Args ParseArgs(int argc, char** argv) {
       if (args.scale == 0) args.scale = 1;
     } else if (strncmp(argv[i], "--metrics-out=", 14) == 0) {
       args.metrics_out = argv[i] + 14;
+    } else if (strncmp(argv[i], "--timeline-out=", 15) == 0) {
+      args.timeline_out = argv[i] + 15;
+    } else if (strncmp(argv[i], "--trace-out=", 12) == 0) {
+      args.trace_out = argv[i] + 12;
     }
   }
   return args;
@@ -66,6 +79,17 @@ inline std::vector<iotdb::iot::ExperimentResult> Sweep(int nodes,
   return Sweep(nodes, args.scale);
 }
 
+inline bool WriteFile(const std::string& path, const std::string& data) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fwrite(data.data(), 1, data.size(), f);
+  fclose(f);
+  return true;
+}
+
 /// Writes the global registry snapshot to --metrics-out (no-op when the
 /// flag is absent). Call once at the end of main.
 inline void MaybeWriteMetrics(const Args& args) {
@@ -73,15 +97,68 @@ inline void MaybeWriteMetrics(const Args& args) {
   std::string json = iotdb::obs::MetricsRegistry::Global()
                          .TakeSnapshot()
                          .ToJson();
-  FILE* f = fopen(args.metrics_out.c_str(), "w");
-  if (f == nullptr) {
-    fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
-    return;
+  if (WriteFile(args.metrics_out, json)) {
+    printf("\nmetrics snapshot written to %s (%zu bytes)\n",
+           args.metrics_out.c_str(), json.size());
   }
-  fwrite(json.data(), 1, json.size(), f);
-  fclose(f);
-  printf("\nmetrics snapshot written to %s (%zu bytes)\n",
-         args.metrics_out.c_str(), json.size());
+}
+
+/// The process-wide sampler behind --timeline-out: one bench-lifetime
+/// timeline spanning every run the binary executes (per-execution
+/// timelines remain the BenchmarkDriver's job).
+inline iotdb::obs::Sampler& ProcessSampler() {
+  static iotdb::obs::Sampler sampler;
+  return sampler;
+}
+
+/// Starts the collection the flags ask for. Call once after ParseArgs,
+/// before the first run. No-op for absent flags (and the sampler refuses
+/// to start while observability is disabled).
+inline void StartCollection(const Args& args) {
+  if (!args.timeline_out.empty()) ProcessSampler().Start();
+  if (!args.trace_out.empty()) iotdb::obs::TraceBuffer::StartTracing();
+}
+
+/// Stops the process sampler and writes --timeline-out. Pass the bench's
+/// own count of ingested kvps (when it has one) to print the cross-check
+/// the per-interval series is supposed to satisfy: interval ingest deltas
+/// telescope, so their sum must equal the run total.
+inline void MaybeWriteTimeline(const Args& args,
+                               uint64_t expected_ingest_kvps = 0) {
+  if (args.timeline_out.empty()) return;
+  ProcessSampler().Stop();
+  iotdb::obs::Timeline timeline = ProcessSampler().TakeTimeline();
+  if (!WriteFile(args.timeline_out, timeline.ToJson())) return;
+  uint64_t interval_sum = timeline.CounterTotal("driver.ingest.kvps");
+  printf("timeline written to %s (%zu intervals, interval ingest sum %llu "
+         "kvps)\n",
+         args.timeline_out.c_str(), timeline.intervals.size(),
+         static_cast<unsigned long long>(interval_sum));
+  if (expected_ingest_kvps > 0) {
+    double diff =
+        interval_sum >= expected_ingest_kvps
+            ? static_cast<double>(interval_sum - expected_ingest_kvps)
+            : static_cast<double>(expected_ingest_kvps - interval_sum);
+    printf("timeline check: interval sum vs run total %llu kvps: %.3f%% "
+           "off\n",
+           static_cast<unsigned long long>(expected_ingest_kvps),
+           100.0 * diff / static_cast<double>(expected_ingest_kvps));
+  }
+}
+
+/// Stops tracing and writes --trace-out as Chrome trace_event JSON
+/// (chrome://tracing or https://ui.perfetto.dev).
+inline void MaybeWriteTrace(const Args& args) {
+  if (args.trace_out.empty()) return;
+  iotdb::obs::TraceBuffer::StopTracing();
+  std::string json = iotdb::obs::TraceBuffer::ToChromeTraceJson();
+  if (WriteFile(args.trace_out, json)) {
+    printf("trace written to %s (%zu bytes, %llu spans dropped); open in "
+           "Perfetto\n",
+           args.trace_out.c_str(), json.size(),
+           static_cast<unsigned long long>(
+               iotdb::obs::TraceBuffer::DroppedSpans()));
+  }
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref) {

@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "storage/bloom.h"  // reuse BloomHash as the shard hash
 
 namespace iotdb {
@@ -56,6 +56,11 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {}
 Cluster::~Cluster() {
   // Nodes hold stores using fault_env_; destroy them first.
   nodes_.clear();
+  // Gauges are process-global levels: with this cluster gone its queues no
+  // longer exist, so zero them or the next cluster in the process inherits
+  // ghost depth (bench_real_cluster runs several clusters back to back).
+  Instruments().hint_queue_depth->Set(0);
+  for (obs::Gauge* gauge : node_hint_depth_) gauge->Set(0);
 }
 
 Result<std::unique_ptr<Cluster>> Cluster::Start(
@@ -74,6 +79,11 @@ Result<std::unique_ptr<Cluster>> Cluster::Start(
     cluster->options_.storage_options.env = cluster->fault_env_.get();
   }
   cluster->hints_.resize(static_cast<size_t>(cluster->options_.num_nodes));
+  auto& registry = obs::MetricsRegistry::Global();
+  for (int i = 0; i < cluster->options_.num_nodes; ++i) {
+    cluster->node_hint_depth_.push_back(registry.GetGauge(
+        "cluster.node" + std::to_string(i) + ".hint_queue_depth"));
+  }
   Cluster* raw = cluster.get();
   auto on_quarantine = [raw](int node_id, const std::string& path,
                              const Status& cause) {
@@ -191,6 +201,15 @@ Status Cluster::CrashNode(int id) {
   IOTDB_RETURN_NOT_OK(nodes_[id]->Crash());
   std::lock_guard<std::mutex> lock(hints_mu_);
   fault_stats_.node_crashes++;
+  // A crashed node lost unsynced state, so rejoin takes a full shard
+  // re-copy no matter what — hints buffered for it are dead weight, and
+  // their queue depth would haunt the timeline for as long as the node
+  // stays down. Reuse the overflow path: drop the rows now; `overflowed`
+  // keeps TryRecordHint from buffering more and forces the re-copy.
+  hints_[id].rows.clear();
+  hints_[id].rows.shrink_to_fit();
+  hints_[id].overflowed = true;
+  UpdateHintDepthGaugeLocked();
   return Status::OK();
 }
 
@@ -247,11 +266,14 @@ Status Cluster::RestartNode(int id) {
     for (const auto& [key, value] : pending) {
       batch.Put(key, value);
     }
+    obs::TraceSpan replay_span("cluster.hint_replay", nullptr, clock());
+    replay_span.SetArg("kvps", pending.size());
     // Applied directly to the store: the node is still marked down, so
     // ApplyBatch would refuse, and catch-up writes should not skew the
     // client-visible operation counters.
     IOTDB_RETURN_NOT_OK(
         node->store()->Write(storage::WriteOptions(), &batch));
+    replay_span.Stop();
     std::lock_guard<std::mutex> lock(hints_mu_);
     fault_stats_.hint_replayed_kvps += pending.size();
     if (obs::Enabled()) {
@@ -261,10 +283,14 @@ Status Cluster::RestartNode(int id) {
 }
 
 void Cluster::UpdateHintDepthGaugeLocked() {
-  if (!obs::Enabled()) return;
+  // No obs::Enabled() gate: a Set is one relaxed store, and skipping it
+  // left the gauge frozen at whatever depth it had when the switch was
+  // last on — every later snapshot then reported that stale level.
   int64_t total = 0;
-  for (const HintBuffer& buf : hints_) {
-    total += static_cast<int64_t>(buf.rows.size());
+  for (size_t i = 0; i < hints_.size(); ++i) {
+    int64_t depth = static_cast<int64_t>(hints_[i].rows.size());
+    total += depth;
+    node_hint_depth_[i]->Set(depth);
   }
   Instruments().hint_queue_depth->Set(total);
 }
@@ -296,6 +322,8 @@ bool Cluster::TryRecordHint(
 }
 
 Status Cluster::RecopyShards(int target_id) {
+  obs::TraceSpan recopy_span("cluster.shard_recopy", nullptr, clock());
+  uint64_t total_copied = 0;
   Node* target = nodes_[target_id].get();
   for (auto& source : nodes_) {
     if (source->id() == target_id) continue;
@@ -334,9 +362,11 @@ Status Cluster::RecopyShards(int target_id) {
           target->store()->Write(storage::WriteOptions(), &batch));
       copied += batch_rows;
     }
+    total_copied += copied;
     std::lock_guard<std::mutex> lock(hints_mu_);
     fault_stats_.recopied_kvps += copied;
   }
+  recopy_span.SetArg("kvps", total_copied);
   return Status::OK();
 }
 
@@ -550,8 +580,9 @@ Status Client::WriteShardBatch(
     const std::vector<int>& replicas, const storage::WriteBatch& batch,
     const std::vector<std::pair<std::string, std::string>>& rows,
     uint64_t kvps, uint64_t bytes) {
-  obs::ScopedTimer fanout_timer(Instruments().fanout_micros,
-                                cluster_->clock());
+  obs::TraceSpan fanout_span("cluster.fanout", Instruments().fanout_micros,
+                             cluster_->clock());
+  fanout_span.SetArg("kvps", kvps);
   int applied = 0;
   bool degraded = false;
   Status first_error;
@@ -587,7 +618,7 @@ Status Client::WriteShardBatch(
     Instruments().degraded_batches->Increment();
   }
   if (applied > 0) return Status::OK();
-  fanout_timer.Cancel();  // failed fan-outs would skew the latency profile
+  fanout_span.Cancel();  // failed fan-outs would skew the latency profile
   if (!first_error.ok()) return first_error;
   return Status::IOError("no live replicas for shard");
 }

@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/fault_env.h"
 
@@ -161,7 +162,10 @@ class Cluster {
   void RecordReadRepair();
 
   /// Refreshes the cluster.hints.queue_depth gauge (total buffered hint
-  /// rows across nodes). Caller holds hints_mu_.
+  /// rows across nodes) and the per-node cluster.node<id>.hint_queue_depth
+  /// gauges. Unconditional — gauges are levels the timeline samples, so
+  /// they must track reality even while the obs switch is off (gating them
+  /// froze stale depth into every later snapshot). Caller holds hints_mu_.
   void UpdateHintDepthGaugeLocked();
 
   ClusterOptions options_;
@@ -178,6 +182,10 @@ class Cluster {
   /// decision against the down->up flip in RestartNode.
   mutable std::mutex hints_mu_;
   std::vector<HintBuffer> hints_;  // one per node
+  /// cluster.node<id>.hint_queue_depth, parallel to hints_. The gauges are
+  /// process-global; the destructor zeroes them so a later cluster (or the
+  /// timeline) never sees ghost depth from this one.
+  std::vector<obs::Gauge*> node_hint_depth_;
   FaultRecoveryStats fault_stats_;
   /// Node ids whose stores quarantined a corrupt file and still await a
   /// shard re-copy (guarded by hints_mu_).

@@ -42,6 +42,8 @@ Node::Node(int id, const storage::Options& options, std::string data_dir,
            storage::FaultInjectionEnv* fault_env,
            QuarantineHandler on_quarantine)
     : id_(id),
+      obs_primary_kvps_(obs::MetricsRegistry::Global().GetCounter(
+          "cluster.node" + std::to_string(id) + ".primary_kvps")),
       options_(options),
       data_dir_(std::move(data_dir)),
       fault_env_(fault_env),
@@ -117,6 +119,7 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
   if (obs::Enabled()) {
     Instruments().writes->Add(kvps);
     Instruments().bytes_written->Add(bytes);
+    if (as_primary) obs_primary_kvps_->Add(kvps);
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/corruption_reporter.h"
 #include "storage/fault_env.h"
 #include "storage/kvstore.h"
@@ -143,6 +144,9 @@ class Node {
   void OnStoreQuarantine(const std::string& path, const Status& cause);
 
   const int id_;
+  /// cluster.node<id>.primary_kvps — feeds the timeline's per-node op
+  /// series (the load-balance view of Figure 15, time-resolved).
+  obs::Counter* const obs_primary_kvps_;
   CorruptionListener corruption_listener_{this};
   storage::Options options_;
   const std::string data_dir_;

@@ -197,6 +197,15 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   obs::MetricsSnapshot obs_before;
   if (observe) obs_before = obs::MetricsRegistry::Global().TakeSnapshot();
 
+  // Per-execution run timeline: the warmup and each measured execution get
+  // their own interval series, so steady-state analysis can compare them.
+  // Start() is a no-op while observability is disabled.
+  obs::SamplerOptions sampler_options;
+  sampler_options.cadence_micros = config_.timeline_cadence_micros;
+  sampler_options.clock = clock;
+  obs::Sampler sampler(sampler_options);
+  sampler.Start();
+
   execution.metrics.ts_start_micros = clock->NowMicros();
   for (int i = 0; i < p; ++i) {
     DriverOptions options;
@@ -296,6 +305,8 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
     }
   }
   execution.metrics.ts_end_micros = clock->NowMicros();
+  sampler.Stop();  // flushes the final partial interval
+  execution.timeline = sampler.TakeTimeline();
 
   if (observe) {
     execution.obs_delta =

@@ -15,6 +15,7 @@
 #include "iot/metrics.h"
 #include "iot/pricing.h"
 #include "iot/rules.h"
+#include "obs/sampler.h"
 #include "obs/snapshot.h"
 
 namespace iotdb {
@@ -44,6 +45,12 @@ struct BenchmarkConfig {
   /// Skips the (untimed) warmup execution; reproduction convenience only,
   /// a publishable run always warms up.
   bool skip_warmup = false;
+
+  /// Cadence of the run-timeline sampler (`timeline.cadence_ms` in kit
+  /// properties). Each execution runs its own obs::Sampler at this rate;
+  /// the per-interval series feeds the FDR "Run timeline" section and
+  /// timeline.json. Ignored while observability is disabled.
+  uint64_t timeline_cadence_micros = 1'000'000;
 
   /// Repeatability tolerance between the two measured runs' IoTps, as a
   /// fraction. The TPC requires the repetition run to demonstrate a
@@ -110,6 +117,10 @@ struct WorkloadExecution {
   /// execution gets its own delta, so measured numbers are not polluted by
   /// warm-up traffic. Empty when the obs registry is disabled.
   obs::MetricsSnapshot obs_delta;
+  /// Per-interval registry deltas over this execution's window, sampled at
+  /// BenchmarkConfig::timeline_cadence_micros. Empty when observability is
+  /// disabled (the sampler is never started then).
+  obs::Timeline timeline;
 
   uint64_t TotalQueries() const;
   uint64_t TotalQueryRows() const;

@@ -10,7 +10,7 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
       "driver_instances",     "total_kvps",         "batch_size",
       "seed",                 "min_run_seconds",    "min_per_sensor_rate",
       "min_rows_per_query",   "enforce_query_rows", "skip_warmup",
-      "repeatability_tolerance",
+      "repeatability_tolerance", "timeline.cadence_ms",
       "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops",
       "fault.corrupt_sstable", "fault.corrupt_at_ops", "fault.corrupt_bits"};
   for (const auto& [key, value] : props.map()) {
@@ -43,6 +43,13 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
                          props.GetBool("skip_warmup", false));
   IOTDB_ASSIGN_OR_RETURN(config.repeatability_tolerance,
                          props.GetDouble("repeatability_tolerance", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t timeline_cadence_ms,
+                         props.GetInt("timeline.cadence_ms", 1000));
+  if (timeline_cadence_ms < 1) {
+    return Status::InvalidArgument("timeline.cadence_ms must be >= 1");
+  }
+  config.timeline_cadence_micros =
+      static_cast<uint64_t>(timeline_cadence_ms) * 1000;
   IOTDB_ASSIGN_OR_RETURN(int64_t fault_kill_node,
                          props.GetInt("fault.kill_node", -1));
   IOTDB_ASSIGN_OR_RETURN(int64_t fault_at_ops,
@@ -115,6 +122,8 @@ Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
   props.Set("enforce_query_rows",
             config.enforce_query_rows ? "true" : "false");
   props.Set("skip_warmup", config.skip_warmup ? "true" : "false");
+  props.Set("timeline.cadence_ms",
+            std::to_string(config.timeline_cadence_micros / 1000));
   if (config.fault_kill_node >= 0) {
     props.Set("fault.kill_node", std::to_string(config.fault_kill_node));
     props.Set("fault.at_ops", std::to_string(config.fault_at_ops));

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iotdb {
 namespace iot {
@@ -86,6 +87,10 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
       Instruments().insert_batch_micros->Record(insert_elapsed);
       Instruments().ingest_kvps->Add(batch.size());
     }
+    // Reuses the timestamps already taken for the latency histogram — the
+    // trace costs no extra clock reads on the ingest hot path.
+    obs::TraceBuffer::Record("driver.insert_batch", t0, insert_elapsed,
+                             "kvps", batch.size());
     result.kvps_ingested += batch.size();
 
     // Five queries for every 10,000 ingested readings, issued concurrently
@@ -109,6 +114,8 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
           Instruments().query_rows->Add(
               query_result.ValueOrDie().rows_read);
         }
+        obs::TraceBuffer::Record("driver.query", q0, query_elapsed, "rows",
+                                 query_result.ValueOrDie().rows_read);
         if (measurements != nullptr) {
           measurements->Record("QUERY", query_elapsed);
         }

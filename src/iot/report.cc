@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "iot/run_timeline.h"
+
 namespace iotdb {
 namespace iot {
 
@@ -25,6 +27,56 @@ void AppendLine(std::string* out, const char* fmt, ...) {
 void AppendCheck(std::string* out, const CheckResult& check) {
   AppendLine(out, "  [%s] %s: %s", check.passed ? "PASS" : "FAIL",
              check.name.c_str(), check.detail.c_str());
+}
+
+void AppendRunTimeline(std::string* out, const WorkloadExecution& warmup,
+                       const WorkloadExecution& measured) {
+  RunTimelineAnalysis analysis =
+      AnalyzeRunTimeline(warmup.timeline, measured.timeline);
+  out->push_back('\n');
+  AppendLine(out, "--- Run timeline (performance run, measured window) ---");
+  if (analysis.intervals_analyzed == 0) {
+    AppendLine(out,
+               "  No complete sampling intervals (run shorter than the "
+               "%.1f s cadence); steady-state analysis skipped.",
+               static_cast<double>(measured.timeline.cadence_micros) / 1e6);
+    return;
+  }
+  AppendLine(out, "  Intervals: %zu complete at %.1f s cadence%s",
+             analysis.intervals_analyzed,
+             static_cast<double>(measured.timeline.cadence_micros) / 1e6,
+             measured.timeline.dropped_intervals > 0
+                 ? " (ring overflow dropped oldest intervals)"
+                 : "");
+  AppendLine(out, "  Mean ingest rate: %.1f kvps/s",
+             analysis.mean_ingest_rate);
+  AppendLine(out,
+             "  [%s] steady-state CoV: %.3f (threshold %.2f)",
+             analysis.cov_ok ? "PASS" : "WARN", analysis.ingest_rate_cov,
+             Rules::kMaxSteadyStateCov);
+  if (analysis.warmup_compared) {
+    AppendLine(out,
+               "  [%s] warmup-vs-measured drift: %.1f%% (threshold %.0f%%)",
+               analysis.drift_ok ? "PASS" : "WARN",
+               100.0 * analysis.warmup_drift,
+               100.0 * Rules::kMaxWarmupDrift);
+  } else {
+    AppendLine(out,
+               "  Warmup-vs-measured drift: not compared (no warmup "
+               "timeline)");
+  }
+  for (const TimelineDip& dip : analysis.dips) {
+    AppendLine(out,
+               "  Dip: interval %zu at %.0f%% of median (%.1f kvps/s); "
+               "coincident: stall %.1f ms, compaction %llu B, flush %llu B, "
+               "scrub %llu B, hint depth %lld",
+               dip.interval_index, 100.0 * dip.fraction_of_median,
+               dip.ingest_rate, dip.stall_micros / 1000.0,
+               static_cast<unsigned long long>(dip.compaction_bytes),
+               static_cast<unsigned long long>(dip.flush_bytes),
+               static_cast<unsigned long long>(dip.scrub_bytes),
+               static_cast<long long>(dip.hint_queue_depth));
+  }
 }
 
 }  // namespace
@@ -158,8 +210,12 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
              result.performance_run + 1,
              100.0 * result.RepeatabilityDelta());
 
-  const obs::MetricsSnapshot& obs_delta =
-      result.iterations[result.performance_run].measured.obs_delta;
+  const IterationResult& perf = result.iterations[result.performance_run];
+  if (!perf.measured.timeline.empty()) {
+    AppendRunTimeline(&out, perf.warmup, perf.measured);
+  }
+
+  const obs::MetricsSnapshot& obs_delta = perf.measured.obs_delta;
   if (!obs_delta.empty()) {
     out.push_back('\n');
     AppendLine(&out,
@@ -198,6 +254,14 @@ Status WriteReportFiles(storage::Env* env, const std::string& dir,
   if (!obs_delta.empty()) {
     IOTDB_RETURN_NOT_OK(env->WriteStringToFile(dir + "/metrics.json",
                                                obs_delta.ToJson()));
+  }
+  // Per-interval time series of the same window (the FDR "Run timeline"
+  // section's raw data); omitted when the sampler never ran.
+  const obs::Timeline& timeline =
+      result.iterations[result.performance_run].measured.timeline;
+  if (!timeline.empty()) {
+    IOTDB_RETURN_NOT_OK(env->WriteStringToFile(dir + "/timeline.json",
+                                               timeline.ToJson()));
   }
   return Status::OK();
 }

@@ -1,0 +1,113 @@
+#include "iot/run_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iot/rules.h"
+
+namespace iotdb {
+namespace iot {
+
+namespace {
+
+/// Indices of intervals long enough to carry a rate estimate: at least
+/// half the cadence. The final flushed interval is usually a short tail
+/// whose rate is noise; a half-cadence floor keeps real intervals (the
+/// sampler thread can wake slightly early) while dropping the tail.
+std::vector<size_t> CompleteIntervals(const obs::Timeline& timeline) {
+  std::vector<size_t> indices;
+  const double min_seconds =
+      static_cast<double>(timeline.cadence_micros) / 1e6 * 0.5;
+  for (size_t i = 0; i < timeline.intervals.size(); ++i) {
+    if (timeline.intervals[i].DurationSeconds() >= min_seconds) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+double MeanIngestRate(const obs::Timeline& timeline,
+                      const std::vector<size_t>& indices) {
+  if (indices.empty()) return 0;
+  double sum = 0;
+  for (size_t i : indices) {
+    sum += timeline.intervals[i].Rate("driver.ingest.kvps");
+  }
+  return sum / static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+RunTimelineAnalysis AnalyzeRunTimeline(const obs::Timeline& warmup,
+                                       const obs::Timeline& measured) {
+  RunTimelineAnalysis analysis;
+
+  std::vector<size_t> indices = CompleteIntervals(measured);
+  analysis.intervals_analyzed = indices.size();
+  if (indices.empty()) return analysis;
+
+  std::vector<double> rates;
+  rates.reserve(indices.size());
+  for (size_t i : indices) {
+    rates.push_back(measured.intervals[i].Rate("driver.ingest.kvps"));
+  }
+
+  double sum = 0;
+  for (double r : rates) sum += r;
+  analysis.mean_ingest_rate = sum / static_cast<double>(rates.size());
+
+  if (analysis.mean_ingest_rate > 0 && rates.size() > 1) {
+    double sq = 0;
+    for (double r : rates) {
+      double d = r - analysis.mean_ingest_rate;
+      sq += d * d;
+    }
+    // Sample variance: a short timeline should not understate its spread.
+    double variance = sq / static_cast<double>(rates.size() - 1);
+    analysis.ingest_rate_cov =
+        std::sqrt(variance) / analysis.mean_ingest_rate;
+  }
+  analysis.cov_ok = analysis.ingest_rate_cov <= Rules::kMaxSteadyStateCov;
+
+  std::vector<size_t> warmup_indices = CompleteIntervals(warmup);
+  if (!warmup_indices.empty() && analysis.mean_ingest_rate > 0) {
+    double warmup_mean = MeanIngestRate(warmup, warmup_indices);
+    analysis.warmup_drift =
+        std::fabs(analysis.mean_ingest_rate - warmup_mean) /
+        analysis.mean_ingest_rate;
+    analysis.warmup_compared = true;
+  }
+  analysis.drift_ok = analysis.warmup_drift <= Rules::kMaxWarmupDrift;
+
+  // Dip attribution: intervals below kDipRateFraction of the median rate,
+  // annotated with the storage/cluster activity that coincided.
+  std::vector<double> sorted_rates = rates;
+  std::sort(sorted_rates.begin(), sorted_rates.end());
+  double median = sorted_rates[sorted_rates.size() / 2];
+  if (median > 0) {
+    for (size_t k = 0; k < indices.size(); ++k) {
+      if (rates[k] >= median * Rules::kDipRateFraction) continue;
+      const obs::TimelineInterval& interval = measured.intervals[indices[k]];
+      TimelineDip dip;
+      dip.interval_index = indices[k];
+      dip.start_micros = interval.start_micros;
+      dip.ingest_rate = rates[k];
+      dip.fraction_of_median = rates[k] / median;
+      dip.stall_micros = interval.CounterDelta("storage.write.stall_micros");
+      dip.compaction_bytes =
+          interval.CounterDelta("storage.compaction.bytes_read") +
+          interval.CounterDelta("storage.compaction.bytes_written");
+      dip.flush_bytes =
+          interval.CounterDelta("storage.memtable.bytes_flushed");
+      dip.scrub_bytes =
+          interval.CounterDelta("storage.scrub.bytes_checked");
+      dip.hint_queue_depth =
+          interval.GaugeValue("cluster.hints.queue_depth");
+      analysis.dips.push_back(dip);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace iot
+}  // namespace iotdb

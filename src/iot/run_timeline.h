@@ -1,0 +1,64 @@
+#ifndef IOTDB_IOT_RUN_TIMELINE_H_
+#define IOTDB_IOT_RUN_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.h"
+
+namespace iotdb {
+namespace iot {
+
+/// One timeline interval whose ingest rate dipped below the run's median,
+/// with the storage/cluster activity that coincided — the FDR's stall
+/// attribution ("interval 12 dipped to 40% of median while 6 MB of
+/// compaction ran and writers stalled 180 ms").
+struct TimelineDip {
+  size_t interval_index = 0;
+  uint64_t start_micros = 0;
+  double ingest_rate = 0;       // kvps/s in the dipped interval
+  double fraction_of_median = 0;
+  /// Coincident activity deltas within the dipped interval.
+  uint64_t stall_micros = 0;
+  uint64_t compaction_bytes = 0;
+  uint64_t flush_bytes = 0;
+  uint64_t scrub_bytes = 0;
+  int64_t hint_queue_depth = 0;
+};
+
+/// Steady-state verdict over one execution's timeline plus the
+/// warmup-vs-measured comparison (paper §III-B: the measured window is
+/// only meaningful if the system has reached steady state by the end of
+/// warmup).
+struct RunTimelineAnalysis {
+  /// Complete intervals analysed (partial tail intervals are excluded).
+  size_t intervals_analyzed = 0;
+  /// Mean and coefficient of variation of per-interval ingest rate over
+  /// the measured execution.
+  double mean_ingest_rate = 0;
+  double ingest_rate_cov = 0;
+  /// |measured mean − warmup mean| / measured mean; 0 when either side
+  /// has no usable intervals (e.g. warmup skipped).
+  double warmup_drift = 0;
+  bool warmup_compared = false;
+
+  /// Pass/warn against the Rules thresholds. Warn-only: steady-state
+  /// violations are disclosed, not invalidating.
+  bool cov_ok = true;
+  bool drift_ok = true;
+
+  std::vector<TimelineDip> dips;
+};
+
+/// Computes steady-state statistics from the measured execution's timeline
+/// and, when the warmup timeline is non-empty, the warmup-vs-measured
+/// drift. Only complete intervals (duration >= half the cadence) enter the
+/// statistics so the flushed partial tail does not skew the CoV.
+RunTimelineAnalysis AnalyzeRunTimeline(const obs::Timeline& warmup,
+                                       const obs::Timeline& measured);
+
+}  // namespace iot
+}  // namespace iotdb
+
+#endif  // IOTDB_IOT_RUN_TIMELINE_H_

@@ -46,23 +46,8 @@ class ScopedTimer {
   uint64_t start_ = 0;
 };
 
-/// A named trace span: resolves `layer.component.metric` in the global
-/// registry once and times the enclosing scope. For hot paths prefer
-/// resolving the histogram pointer up front and using ScopedTimer directly;
-/// TraceSpan trades one registry lookup for call-site brevity.
-class TraceSpan {
- public:
-  explicit TraceSpan(const std::string& name, Clock* clock = Clock::Real())
-      : timer_(Enabled() ? MetricsRegistry::Global().GetHistogram(name)
-                         : nullptr,
-               clock) {}
-
-  void Stop() { timer_.Stop(); }
-  void Cancel() { timer_.Cancel(); }
-
- private:
-  ScopedTimer timer_;
-};
+// TraceSpan moved to obs/trace.h: it now also feeds real span records into
+// the TraceBuffer ring for Chrome trace_event export.
 
 }  // namespace obs
 }  // namespace iotdb

@@ -1,0 +1,225 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+namespace iotdb {
+namespace obs {
+
+std::atomic<bool> TraceBuffer::enabled_{false};
+
+/// Every field is an individual atomic so a reader racing a wraparound
+/// overwrite sees, at worst, a mix of two complete records — never a torn
+/// pointer. All slot accesses are relaxed; ordering comes from the ring
+/// head's release/acquire pair.
+struct TraceBuffer::Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> arg_name{nullptr};
+  std::atomic<uint64_t> arg_value{0};
+  std::atomic<uint64_t> start_micros{0};
+  std::atomic<uint64_t> duration_micros{0};
+};
+
+/// Single-writer (the owning thread) / multi-reader ring. Readers only
+/// consume slots below the published head, writers only publish after the
+/// slot's fields are stored.
+struct TraceBuffer::ThreadRing {
+  explicit ThreadRing(uint32_t tid_in, size_t capacity_in)
+      : tid(tid_in), capacity(capacity_in), slots(new Slot[capacity_in]) {}
+
+  const uint32_t tid;
+  const size_t capacity;
+  std::unique_ptr<Slot[]> slots;
+  /// Total spans ever written; slot index is head % capacity. Published
+  /// with release so an acquire reader sees the slot contents.
+  std::atomic<uint64_t> head{0};
+
+  void Push(const char* name, uint64_t start_micros, uint64_t duration_micros,
+            const char* arg_name, uint64_t arg_value) {
+    uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h % capacity];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.arg_name.store(arg_name, std::memory_order_relaxed);
+    slot.arg_value.store(arg_value, std::memory_order_relaxed);
+    slot.start_micros.store(start_micros, std::memory_order_relaxed);
+    slot.duration_micros.store(duration_micros, std::memory_order_relaxed);
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+/// Owns every ring ever handed to a thread; rings live until the next
+/// StartTracing so Snapshot can read spans from threads that have exited.
+struct TraceBuffer::Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  size_t capacity_per_thread = TraceBuffer::kDefaultCapacityPerThread;
+  /// Bumped on StartTracing; threads re-fetch their ring when their cached
+  /// epoch is stale, so old rings are never written after a reset.
+  std::atomic<uint64_t> epoch{1};
+
+  ThreadRing* NewRing() {
+    std::lock_guard<std::mutex> lock(mu);
+    rings.push_back(std::make_unique<ThreadRing>(
+        static_cast<uint32_t>(rings.size()), capacity_per_thread));
+    return rings.back().get();
+  }
+};
+
+TraceBuffer::Registry& TraceBuffer::GlobalRegistry() {
+  static Registry* registry = new Registry();  // intentionally leaked
+  return *registry;
+}
+
+TraceBuffer::ThreadRing* TraceBuffer::RingForThisThread() {
+  struct Cached {
+    ThreadRing* ring = nullptr;
+    uint64_t epoch = 0;
+  };
+  thread_local Cached cached;
+  Registry& registry = GlobalRegistry();
+  uint64_t epoch = registry.epoch.load(std::memory_order_acquire);
+  if (cached.ring == nullptr || cached.epoch != epoch) {
+    cached.ring = registry.NewRing();
+    cached.epoch = epoch;
+  }
+  return cached.ring;
+}
+
+void TraceBuffer::StartTracing(size_t capacity_per_thread) {
+  if (enabled_.load(std::memory_order_relaxed)) return;
+  Registry& registry = GlobalRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.rings.clear();
+    registry.capacity_per_thread =
+        std::max<size_t>(1, capacity_per_thread);
+  }
+  // Invalidate every thread's cached ring before writers can observe
+  // enabled: a stale ring from the previous run is never written again.
+  registry.epoch.fetch_add(1, std::memory_order_acq_rel);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceBuffer::StopTracing() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceBuffer::Record(const char* name, uint64_t start_micros,
+                         uint64_t duration_micros, const char* arg_name,
+                         uint64_t arg_value) {
+  if (!Enabled()) return;
+  RingForThisThread()->Push(name, start_micros, duration_micros, arg_name,
+                            arg_value);
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() {
+  Registry& registry = GlobalRegistry();
+  std::vector<ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    rings.reserve(registry.rings.size());
+    for (auto& ring : registry.rings) rings.push_back(ring.get());
+  }
+  std::vector<TraceEvent> events;
+  for (ThreadRing* ring : rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t count = std::min<uint64_t>(head, ring->capacity);
+    events.reserve(events.size() + count);
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring->slots[i % ring->capacity];
+      TraceEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+      event.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+      event.start_micros = slot.start_micros.load(std::memory_order_relaxed);
+      event.duration_micros =
+          slot.duration_micros.load(std::memory_order_relaxed);
+      event.tid = ring->tid;
+      if (event.name != nullptr) events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_micros < b.start_micros;
+            });
+  return events;
+}
+
+uint64_t TraceBuffer::DroppedSpans() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t dropped = 0;
+  for (auto& ring : registry.rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > ring->capacity) dropped += head - ring->capacity;
+  }
+  return dropped;
+}
+
+namespace {
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceBuffer::ToChromeTraceJson() {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(event.name, &out);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.start_micros);
+    out += ",\"dur\":";
+    out += std::to_string(event.duration_micros);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    if (event.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      AppendJsonEscaped(event.arg_name, &out);
+      out += "\":";
+      out += std::to_string(event.arg_value);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":";
+  out += std::to_string(DroppedSpans());
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace iotdb

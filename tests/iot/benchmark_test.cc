@@ -255,6 +255,42 @@ TEST(BenchmarkDriverTest, FullRunEndToEnd) {
   EXPECT_EQ(sut->GetAggregateStats().primary_writes, 0u);
 }
 
+TEST(BenchmarkDriverTest, TimelineIngestSumMatchesRunTotal) {
+  auto sut = MakeSut(3);
+  BenchmarkConfig config;
+  config.num_driver_instances = 2;
+  config.total_kvps = 30000;
+  config.batch_size = 500;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.timeline_cadence_micros = 5'000;  // several intervals per run
+
+  BenchmarkDriver driver(config, sut.get());
+  BenchmarkResult result = driver.Run();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+
+  for (int i = 0; i < 2; ++i) {
+    const obs::Timeline& timeline = result.iterations[i].measured.timeline;
+    ASSERT_FALSE(timeline.empty()) << "iteration " << i;
+    // Per-interval deltas telescope and the sampler flushes its tail at
+    // Stop(), so the interval sum equals the run total exactly — the same
+    // invariant the bench's --timeline-out cross-check prints.
+    EXPECT_EQ(timeline.CounterTotal("driver.ingest.kvps"),
+              result.iterations[i].measured.metrics.kvps_ingested)
+        << "iteration " << i;
+    EXPECT_EQ(timeline.cadence_micros, 5'000u);
+  }
+
+  // The FDR gains a Run timeline section when a timeline was collected.
+  PricedConfiguration pricing =
+      PricedConfiguration::ReferenceGatewayConfig(3);
+  SutDescription sut_desc;
+  sut_desc.nodes = 3;
+  std::string fdr = FullDisclosureReport(result, pricing, sut_desc);
+  EXPECT_NE(fdr.find("Run timeline"), std::string::npos);
+  EXPECT_NE(fdr.find("steady-state CoV"), std::string::npos);
+}
+
 TEST(BenchmarkDriverTest, FaultScheduleKillsAndRecoversANode) {
   cluster::ClusterOptions options;
   options.num_nodes = 3;

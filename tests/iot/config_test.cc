@@ -41,6 +41,28 @@ TEST(BenchmarkConfigTest, ParsesAllKeys) {
   EXPECT_TRUE(config.skip_warmup);
 }
 
+TEST(BenchmarkConfigTest, TimelineCadenceParsesAndRoundTrips) {
+  Properties empty;
+  auto defaults = LoadBenchmarkConfig(empty);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.ValueOrDie().timeline_cadence_micros, 1'000'000u);
+
+  Properties props;
+  props.Set("timeline.cadence_ms", "250");
+  auto parsed = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().timeline_cadence_micros, 250'000u);
+
+  Properties round = BenchmarkConfigToProperties(parsed.ValueOrDie());
+  auto restored = LoadBenchmarkConfig(round);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie().timeline_cadence_micros, 250'000u);
+
+  Properties zero;
+  zero.Set("timeline.cadence_ms", "0");
+  EXPECT_TRUE(LoadBenchmarkConfig(zero).status().IsInvalidArgument());
+}
+
 TEST(BenchmarkConfigTest, UnknownKeysRejected) {
   Properties props;
   props.Set("driver_instnaces", "4");  // typo must not silently default

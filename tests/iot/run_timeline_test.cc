@@ -1,0 +1,120 @@
+// Steady-state analysis over synthetic timelines: CoV and drift
+// thresholds, partial-tail exclusion, and dip attribution.
+#include "iot/run_timeline.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iot/rules.h"
+
+namespace iotdb {
+namespace iot {
+namespace {
+
+obs::TimelineInterval MakeInterval(uint64_t start_micros,
+                                   uint64_t duration_micros,
+                                   uint64_t ingest_kvps) {
+  obs::TimelineInterval interval;
+  interval.start_micros = start_micros;
+  interval.end_micros = start_micros + duration_micros;
+  interval.delta.counters["driver.ingest.kvps"] = ingest_kvps;
+  return interval;
+}
+
+obs::Timeline MakeTimeline(const std::vector<uint64_t>& per_second_kvps) {
+  obs::Timeline timeline;
+  timeline.cadence_micros = 1'000'000;
+  uint64_t t = 0;
+  for (uint64_t kvps : per_second_kvps) {
+    timeline.intervals.push_back(MakeInterval(t, 1'000'000, kvps));
+    t += 1'000'000;
+  }
+  return timeline;
+}
+
+TEST(RunTimelineTest, EmptyTimelineYieldsNoAnalysis) {
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline({}, {});
+  EXPECT_EQ(analysis.intervals_analyzed, 0u);
+  EXPECT_FALSE(analysis.warmup_compared);
+  EXPECT_TRUE(analysis.dips.empty());
+}
+
+TEST(RunTimelineTest, SteadyRunPassesBothGates) {
+  obs::Timeline measured =
+      MakeTimeline({1000, 1020, 990, 1010, 1000, 995, 1005, 1000});
+  obs::Timeline warmup = MakeTimeline({980, 1010, 1000, 1005});
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline(warmup, measured);
+  EXPECT_EQ(analysis.intervals_analyzed, 8u);
+  EXPECT_NEAR(analysis.mean_ingest_rate, 1002.5, 1.0);
+  EXPECT_LT(analysis.ingest_rate_cov, 0.05);
+  EXPECT_TRUE(analysis.cov_ok);
+  EXPECT_TRUE(analysis.warmup_compared);
+  EXPECT_TRUE(analysis.drift_ok);
+  EXPECT_TRUE(analysis.dips.empty());
+}
+
+TEST(RunTimelineTest, PartialTailIntervalIsExcluded) {
+  obs::Timeline measured = MakeTimeline({1000, 1000, 1000});
+  // Stop() flushed a 0.2 s tail: too short to carry a rate estimate.
+  measured.intervals.push_back(MakeInterval(3'000'000, 200'000, 50));
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline({}, measured);
+  EXPECT_EQ(analysis.intervals_analyzed, 3u);
+  EXPECT_NEAR(analysis.mean_ingest_rate, 1000.0, 0.01);
+  // The 250 kvps/s tail rate must not have entered the CoV either.
+  EXPECT_NEAR(analysis.ingest_rate_cov, 0.0, 1e-9);
+}
+
+TEST(RunTimelineTest, HighVarianceWarnsOnCov) {
+  obs::Timeline measured =
+      MakeTimeline({2000, 200, 2000, 200, 2000, 200, 2000, 200});
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline({}, measured);
+  EXPECT_GT(analysis.ingest_rate_cov, Rules::kMaxSteadyStateCov);
+  EXPECT_FALSE(analysis.cov_ok);
+}
+
+TEST(RunTimelineTest, WarmupDriftWarnsWhenRampStillClimbing) {
+  // Warmup ran at half the measured rate: the system was still warming.
+  obs::Timeline warmup = MakeTimeline({500, 500, 500, 500});
+  obs::Timeline measured = MakeTimeline({1000, 1000, 1000, 1000});
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline(warmup, measured);
+  ASSERT_TRUE(analysis.warmup_compared);
+  EXPECT_NEAR(analysis.warmup_drift, 0.5, 1e-9);
+  EXPECT_FALSE(analysis.drift_ok);
+}
+
+TEST(RunTimelineTest, NoWarmupTimelineSkipsComparison) {
+  obs::Timeline measured = MakeTimeline({1000, 1000, 1000, 1000});
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline({}, measured);
+  EXPECT_FALSE(analysis.warmup_compared);
+  EXPECT_DOUBLE_EQ(analysis.warmup_drift, 0.0);
+  EXPECT_TRUE(analysis.drift_ok);
+}
+
+TEST(RunTimelineTest, DipCarriesCoincidentActivity) {
+  obs::Timeline measured =
+      MakeTimeline({1000, 1000, 1000, 1000, 1000, 1000, 1000});
+  obs::TimelineInterval dip = MakeInterval(7'000'000, 1'000'000, 100);
+  dip.delta.counters["storage.write.stall_micros"] = 800'000;
+  dip.delta.counters["storage.compaction.bytes_read"] = 4'000'000;
+  dip.delta.counters["storage.compaction.bytes_written"] = 2'000'000;
+  dip.delta.counters["storage.memtable.bytes_flushed"] = 1'000'000;
+  dip.delta.gauges["cluster.hints.queue_depth"] = 321;
+  measured.intervals.push_back(dip);
+
+  RunTimelineAnalysis analysis = AnalyzeRunTimeline({}, measured);
+  ASSERT_EQ(analysis.dips.size(), 1u);
+  const TimelineDip& found = analysis.dips[0];
+  EXPECT_EQ(found.interval_index, 7u);
+  EXPECT_NEAR(found.ingest_rate, 100.0, 0.01);
+  EXPECT_NEAR(found.fraction_of_median, 0.1, 1e-6);
+  EXPECT_EQ(found.stall_micros, 800'000u);
+  EXPECT_EQ(found.compaction_bytes, 6'000'000u);
+  EXPECT_EQ(found.flush_bytes, 1'000'000u);
+  EXPECT_EQ(found.hint_queue_depth, 321);
+}
+
+}  // namespace
+}  // namespace iot
+}  // namespace iotdb

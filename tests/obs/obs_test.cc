@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace iotdb {
 namespace obs {

@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "json_lint.h"
+
+namespace iotdb {
+namespace obs {
+namespace {
+
+// TraceBuffer state is process-global; every test starts its own tracing
+// session (StartTracing clears prior spans) and stops it before asserting.
+
+TEST(TraceBufferTest, DisabledRecordIsNoOp) {
+  TraceBuffer::StartTracing(16);
+  TraceBuffer::StopTracing();
+  ASSERT_FALSE(TraceBuffer::Enabled());
+  TraceBuffer::Record("test.disabled", 1, 2);
+  EXPECT_TRUE(TraceBuffer::Snapshot().empty());
+  EXPECT_EQ(TraceBuffer::DroppedSpans(), 0u);
+}
+
+TEST(TraceBufferTest, RecordPreservesFieldsAndSortsByStart) {
+  TraceBuffer::StartTracing(16);
+  TraceBuffer::Record("test.second", 200, 10, "kvps", 77);
+  TraceBuffer::Record("test.first", 100, 5);
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.first");
+  EXPECT_EQ(events[0].start_micros, 100u);
+  EXPECT_EQ(events[0].duration_micros, 5u);
+  EXPECT_EQ(events[0].arg_name, nullptr);
+  EXPECT_STREQ(events[1].name, "test.second");
+  EXPECT_STREQ(events[1].arg_name, "kvps");
+  EXPECT_EQ(events[1].arg_value, 77u);
+}
+
+TEST(TraceBufferTest, WraparoundKeepsNewestAndCountsDropped) {
+  TraceBuffer::StartTracing(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    TraceBuffer::Record("test.wrap", 100 + i, 1, "i", i);
+  }
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(TraceBuffer::DroppedSpans(), 6u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg_value, 6 + i);  // newest four: i = 6..9
+  }
+}
+
+TEST(TraceBufferTest, StartTracingClearsPriorSession) {
+  TraceBuffer::StartTracing(4);
+  for (int i = 0; i < 10; ++i) TraceBuffer::Record("test.old", i, 1);
+  TraceBuffer::StopTracing();
+  ASSERT_FALSE(TraceBuffer::Snapshot().empty());
+
+  TraceBuffer::StartTracing(4);
+  TraceBuffer::StopTracing();
+  EXPECT_TRUE(TraceBuffer::Snapshot().empty());
+  EXPECT_EQ(TraceBuffer::DroppedSpans(), 0u);
+}
+
+TEST(TraceBufferTest, ChromeJsonHasRequiredEventFields) {
+  TraceBuffer::StartTracing(16);
+  TraceBuffer::Record("test.json \"quoted\\name", 10, 3, "bytes", 4096);
+  TraceBuffer::StopTracing();
+
+  std::string json = TraceBuffer::ToChromeTraceJson();
+  EXPECT_TRUE(testing::JsonLint::Valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  // The quote and backslash in the name must have been escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\\name"), std::string::npos) << json;
+}
+
+TEST(TraceBufferTest, ConcurrentWritersProduceWellFormedJson) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSpansPerThread = 20'000;
+  TraceBuffer::StartTracing(1024);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (uint64_t i = 0; i < kSpansPerThread; ++i) {
+        TraceBuffer::Record("test.concurrent", t * kSpansPerThread + i, 1,
+                            "i", i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Export repeatedly while the writers hammer their rings: the snapshot
+  // may mix old and new spans but must never tear or emit broken JSON.
+  for (int round = 0; round < 5; ++round) {
+    std::string live = TraceBuffer::ToChromeTraceJson();
+    EXPECT_TRUE(testing::JsonLint::Valid(live));
+  }
+  for (std::thread& w : writers) w.join();
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  EXPECT_LE(events.size(), size_t{1024} * kThreads);
+  EXPECT_EQ(events.size() + TraceBuffer::DroppedSpans(),
+            uint64_t{kThreads} * kSpansPerThread);
+  std::string json = TraceBuffer::ToChromeTraceJson();
+  EXPECT_TRUE(testing::JsonLint::Valid(json));
+}
+
+TEST(TraceSpanTest, RecordsHistogramAndTraceFromOneTiming) {
+  SetEnabled(true);
+  LatencyHistogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.span.dual");
+  uint64_t count_before = hist->TakeSnapshot().count;
+  ManualClock clock(5'000);
+  TraceBuffer::StartTracing(16);
+  {
+    TraceSpan span("test.span.dual", hist, &clock);
+    span.SetArg("rows", 9);
+    clock.Advance(1'500);
+  }
+  TraceBuffer::StopTracing();
+
+  EXPECT_EQ(hist->TakeSnapshot().count, count_before + 1);
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.span.dual");
+  EXPECT_EQ(events[0].start_micros, 5'000u);
+  EXPECT_EQ(events[0].duration_micros, 1'500u);
+  EXPECT_STREQ(events[0].arg_name, "rows");
+  EXPECT_EQ(events[0].arg_value, 9u);
+}
+
+TEST(TraceSpanTest, CancelDropsBothSinks) {
+  LatencyHistogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.span.cancel");
+  uint64_t count_before = hist->TakeSnapshot().count;
+  ManualClock clock(0);
+  TraceBuffer::StartTracing(16);
+  {
+    TraceSpan span("test.span.cancel", hist, &clock);
+    clock.Advance(100);
+    span.Cancel();
+  }
+  TraceBuffer::StopTracing();
+
+  EXPECT_EQ(hist->TakeSnapshot().count, count_before);
+  EXPECT_TRUE(TraceBuffer::Snapshot().empty());
+}
+
+TEST(TraceSpanTest, StopIsIdempotent) {
+  LatencyHistogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.span.stop");
+  uint64_t count_before = hist->TakeSnapshot().count;
+  ManualClock clock(0);
+  TraceBuffer::StartTracing(16);
+  TraceSpan span("test.span.stop", hist, &clock);
+  clock.Advance(10);
+  span.Stop();
+  span.Stop();
+  TraceBuffer::StopTracing();
+
+  EXPECT_EQ(hist->TakeSnapshot().count, count_before + 1);
+  EXPECT_EQ(TraceBuffer::Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace iotdb

@@ -1,0 +1,35 @@
+# Script mode (cmake -P): configure an address-sanitized build of the vlog
+# test suite in BUILD_DIR, build just that target, and run it. Invoked as a
+# ctest from the normal (unsanitized) build so the value-log GC and
+# deferred-deletion lifetime tests always also run under ASan; the vlog
+# suite links only iotdb_storage + iotdb_common, which keeps the nested
+# build small enough for single-core builders.
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P "
+                      "vlog_asan_tier.cmake")
+endif()
+
+message(STATUS "vlog_asan tier: configuring ${BUILD_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DIOTDB_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "vlog_asan tier: configure failed (${rc})")
+endif()
+
+message(STATUS "vlog_asan tier: building vlog_tests")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target vlog_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "vlog_asan tier: build failed (${rc})")
+endif()
+
+message(STATUS "vlog_asan tier: running vlog_tests under ASan")
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/vlog_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "vlog_asan tier: vlog_tests failed under ASan (${rc})")
+endif()

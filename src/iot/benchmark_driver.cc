@@ -86,26 +86,31 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkload() {
 
 void BenchmarkDriver::InjectScheduledCorruption() {
   const int victim = config_.fault_corrupt_node;
+  const bool vlog_target = (config_.fault_corrupt_target == "vlog");
   cluster::Node* node = cluster_->node(victim);
   if (node->is_down() || !node->is_running()) {
-    IOTDB_LOG(Warn) << "fault schedule: corrupt_sstable skipped, node "
+    IOTDB_LOG(Warn) << "fault schedule: corruption skipped, node "
                     << victim << " is down";
     return;
   }
-  // Flush so at least one live SSTable exists to damage.
+  // Flush so at least one live SSTable exists to damage. (Vlog files exist
+  // as soon as separated values were written; the flush is harmless there.)
   Status flush = node->store()->FlushMemTable();
   if (!flush.ok()) {
     IOTDB_LOG(Warn) << "fault schedule: flush before corruption failed: "
                     << flush.ToString();
     return;
   }
-  // Bit-rot can land in a table that an in-flight compaction retires
-  // before the scrub runs: the rot dies with the obsolete file and never
-  // threatens live data. Such vacuous injections are discounted and
-  // re-rolled so the schedule reliably exercises detection.
+  // Bit-rot can land in a file that is retired before the scrub runs (a
+  // table an in-flight compaction replaces, a vlog file GC reclaims): the
+  // rot dies with the obsolete file and never threatens live data. Such
+  // vacuous injections are discounted and re-rolled so the schedule
+  // reliably exercises detection.
   for (int attempt = 0; attempt < 5; ++attempt) {
     auto victim_file = cluster_->fault_env()->CorruptRandomFile(
-        node->data_dir(), storage::FileClass::kSSTable,
+        node->data_dir(),
+        vlog_target ? storage::FileClass::kVlog
+                    : storage::FileClass::kSSTable,
         config_.fault_corrupt_bits);
     if (!victim_file.ok()) {
       IOTDB_LOG(Warn) << "fault schedule: bit-rot injection failed: "
@@ -129,7 +134,10 @@ void BenchmarkDriver::InjectScheduledCorruption() {
                     << report.files_checked << " files, quarantined "
                     << report.quarantined_files;
     if (report.quarantined_files > 0) break;
-    if (node->store()->IsLiveTableFile(victim_file.ValueOrDie())) {
+    const bool still_live =
+        vlog_target ? node->store()->IsLiveVlogFile(victim_file.ValueOrDie())
+                    : node->store()->IsLiveTableFile(victim_file.ValueOrDie());
+    if (still_live) {
       // The damaged file is live yet verified clean: a genuine miss the
       // FDR must warn about, not a race to paper over.
       break;

@@ -82,9 +82,13 @@ struct BenchmarkConfig {
   /// If the threshold is never reached the injection fires at the end of
   /// the execution so the schedule always exercises detection and repair.
   /// Requires the cluster to run with fault injection enabled.
+  /// fault_corrupt_target picks the victim file class: "sstable" (default)
+  /// or "vlog" (`fault.corrupt_target` in kit properties; vlog requires the
+  /// SUT stores to run with Options::value_separation).
   int fault_corrupt_node = -1;
   uint64_t fault_corrupt_at_ops = 0;
   int fault_corrupt_bits = 8;
+  std::string fault_corrupt_target = "sstable";
 };
 
 /// Corruption injected / detected / repaired during one workload execution

@@ -12,7 +12,8 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
       "min_rows_per_query",   "enforce_query_rows", "skip_warmup",
       "repeatability_tolerance", "timeline.cadence_ms",
       "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops",
-      "fault.corrupt_sstable", "fault.corrupt_at_ops", "fault.corrupt_bits"};
+      "fault.corrupt_sstable", "fault.corrupt_at_ops", "fault.corrupt_bits",
+      "fault.corrupt_target"};
   for (const auto& [key, value] : props.map()) {
     if (kKnownKeys.count(key) == 0) {
       return Status::InvalidArgument("unknown benchmark property: " + key);
@@ -90,6 +91,12 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
   config.fault_corrupt_node = static_cast<int>(corrupt_node);
   config.fault_corrupt_at_ops = static_cast<uint64_t>(corrupt_at_ops);
   config.fault_corrupt_bits = static_cast<int>(corrupt_bits);
+  config.fault_corrupt_target = props.Get("fault.corrupt_target", "sstable");
+  if (config.fault_corrupt_target != "sstable" &&
+      config.fault_corrupt_target != "vlog") {
+    return Status::InvalidArgument(
+        "fault.corrupt_target must be sstable or vlog");
+  }
 
   if (instances < 1) {
     return Status::InvalidArgument("driver_instances must be >= 1");
@@ -137,6 +144,7 @@ Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
               std::to_string(config.fault_corrupt_at_ops));
     props.Set("fault.corrupt_bits",
               std::to_string(config.fault_corrupt_bits));
+    props.Set("fault.corrupt_target", config.fault_corrupt_target);
   }
   return props;
 }

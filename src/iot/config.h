@@ -28,6 +28,8 @@ namespace iot {
 ///                                  measured runs (-1 = no corruption)
 ///   fault.corrupt_at_ops  (0)      acked kvps before the bit flips
 ///   fault.corrupt_bits    (8)      number of random bits flipped
+///   fault.corrupt_target  (sstable) victim file class: sstable or vlog
+///                                  (vlog needs value-separated stores)
 ///
 /// Unknown keys are rejected so typos in sponsor configs surface instead
 /// of silently using defaults (the FDR must disclose every tunable).

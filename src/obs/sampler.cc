@@ -112,6 +112,12 @@ std::string Timeline::ToJson() const {
     out += std::to_string(
         interval.CounterDelta("storage.compaction.bytes_read") +
         interval.CounterDelta("storage.compaction.bytes_written"));
+    out += ",\"vlog_bytes\":";
+    out += std::to_string(
+        interval.CounterDelta("storage.vlog.appended_bytes"));
+    out += ",\"vlog_gc_reclaimed_bytes\":";
+    out += std::to_string(
+        interval.CounterDelta("storage.vlog.gc_reclaimed_bytes"));
     out += ",\"cache_hit_rate\":";
     AppendDouble(cache_lookups == 0
                      ? 0.0

@@ -262,6 +262,11 @@ class PosixEnv final : public Env {
 // ---------------------------------------------------------------------------
 
 struct MemFile {
+  // Serialises appends against positional/sequential reads. With key-value
+  // separation the active vlog file is read (dereference) while the leader
+  // appends to it; an unguarded std::string::append can reallocate under a
+  // concurrent reader.
+  std::mutex mu;
   std::string contents;
 };
 
@@ -277,7 +282,7 @@ class MemWritableFile final : public WritableFile {
       : file_(std::move(file)) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(file_->mu);
     file_->contents.append(data.data(), data.size());
     return Status::OK();
   }
@@ -287,7 +292,6 @@ class MemWritableFile final : public WritableFile {
 
  private:
   std::shared_ptr<MemFile> file_;
-  std::mutex mu_;
 };
 
 class MemRandomAccessFile final : public RandomAccessFile {
@@ -297,6 +301,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
     const std::string& data = file_->contents;
     if (offset >= data.size()) {
       *result = Slice();
@@ -304,13 +309,17 @@ class MemRandomAccessFile final : public RandomAccessFile {
     }
     size_t avail = data.size() - static_cast<size_t>(offset);
     size_t len = std::min(n, avail);
-    // Zero-copy: point directly into the in-memory file.
-    (void)scratch;
-    *result = Slice(data.data() + offset, len);
+    // Copy into scratch: the backing string may be appended to (and
+    // reallocated) by a concurrent writer after the lock drops.
+    memcpy(scratch, data.data() + offset, len);
+    *result = Slice(scratch, len);
     return Status::OK();
   }
 
-  uint64_t Size() const override { return file_->contents.size(); }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    return file_->contents.size();
+  }
 
  private:
   std::shared_ptr<MemFile> file_;
@@ -322,14 +331,15 @@ class MemSequentialFile final : public SequentialFile {
       : file_(std::move(file)), pos_(0) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
     const std::string& data = file_->contents;
     if (pos_ >= data.size()) {
       *result = Slice();
       return Status::OK();
     }
     size_t len = std::min(n, data.size() - pos_);
-    (void)scratch;
-    *result = Slice(data.data() + pos_, len);
+    memcpy(scratch, data.data() + pos_, len);
+    *result = Slice(scratch, len);
     pos_ += len;
     return Status::OK();
   }
@@ -405,6 +415,7 @@ class MemEnv final : public Env {
     std::lock_guard<std::mutex> lock(fs_.mu);
     auto it = fs_.files.find(path);
     if (it == fs_.files.end()) return Status::IOError(path + ": not found");
+    std::lock_guard<std::mutex> file_lock(it->second->mu);
     return static_cast<uint64_t>(it->second->contents.size());
   }
 
@@ -422,6 +433,7 @@ class MemEnv final : public Env {
     std::lock_guard<std::mutex> lock(fs_.mu);
     auto it = fs_.files.find(path);
     if (it == fs_.files.end()) return Status::IOError(path + ": not found");
+    std::lock_guard<std::mutex> file_lock(it->second->mu);
     std::string& contents = it->second->contents;
     if (offset + data.size() > contents.size()) {
       return Status::InvalidArgument(path + ": overwrite range past EOF");

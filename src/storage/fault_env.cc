@@ -16,6 +16,7 @@ FileClass ClassifyFile(const std::string& path) {
   };
   if (ends_with(".log")) return FileClass::kWal;
   if (ends_with(".sst")) return FileClass::kSSTable;
+  if (ends_with(".vlog")) return FileClass::kVlog;
   if (name.compare(0, 8, "MANIFEST") == 0) return FileClass::kManifest;
   return FileClass::kOther;
 }
@@ -28,6 +29,8 @@ const char* FileClassName(FileClass file_class) {
       return "sstable";
     case FileClass::kManifest:
       return "manifest";
+    case FileClass::kVlog:
+      return "vlog";
     case FileClass::kOther:
       return "other";
   }
@@ -270,10 +273,13 @@ Status FaultInjectionEnv::Crash(const std::string& prefix) {
     if (full_size <= state.synced_size) continue;  // nothing unsynced
 
     uint64_t keep = state.synced_size;
-    if (ClassifyFile(path) == FileClass::kWal &&
+    FileClass cls = ClassifyFile(path);
+    if ((cls == FileClass::kWal || cls == FileClass::kVlog) &&
         rng_.NextDouble() < torn_tail_probability_) {
       // Torn tail: a random prefix of the unsynced region made it to disk,
-      // ending mid-record. Recovery must detect the damage via checksums.
+      // ending mid-record. Recovery must detect the damage via checksums —
+      // for a WAL via the log reader, for a vlog by sealing only the valid
+      // record prefix and dropping WAL pointers into the torn region.
       uint64_t extra = rng_.Uniform(full_size - state.synced_size);
       if (extra > 0) {
         keep += extra;

@@ -15,14 +15,16 @@ namespace iotdb {
 namespace storage {
 
 /// File classes a fault can target, derived from the store's naming scheme
-/// ("<number>.log", "<number>.sst", "MANIFEST"/"MANIFEST.tmp").
+/// ("<number>.log", "<number>.sst", "<number>.vlog", "MANIFEST"/
+/// "MANIFEST.tmp").
 enum class FileClass {
   kWal = 0,
   kSSTable = 1,
   kManifest = 2,
-  kOther = 3,
+  kVlog = 3,
+  kOther = 4,
 };
-constexpr int kNumFileClasses = 4;
+constexpr int kNumFileClasses = 5;
 
 /// Classifies a path into a FileClass by its file-name suffix.
 FileClass ClassifyFile(const std::string& path);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cinttypes>
+#include <map>
 #include <sstream>
 
 #include "common/logging.h"
@@ -168,6 +169,24 @@ KVStore::KVStore(const Options& options, const std::string& name)
       registry.GetCounter("storage.scrub.corruption_detected");
   obs_.quarantine_files = registry.GetCounter("storage.quarantine.files");
   obs_.quarantine_bytes = registry.GetCounter("storage.quarantine.bytes");
+  obs_.vlog_appended_records =
+      registry.GetCounter("storage.vlog.appended_records");
+  obs_.vlog_appended_bytes =
+      registry.GetCounter("storage.vlog.appended_bytes");
+  obs_.vlog_dereferences = registry.GetCounter("storage.vlog.dereferences");
+  obs_.vlog_deref_cache_hits =
+      registry.GetCounter("storage.vlog.deref_cache_hits");
+  obs_.vlog_deref_cache_misses =
+      registry.GetCounter("storage.vlog.deref_cache_misses");
+  obs_.vlog_gc_passes = registry.GetCounter("storage.vlog.gc_passes");
+  obs_.vlog_gc_scanned_bytes =
+      registry.GetCounter("storage.vlog.gc_scanned_bytes");
+  obs_.vlog_gc_reclaimed_bytes =
+      registry.GetCounter("storage.vlog.gc_reclaimed_bytes");
+  obs_.vlog_gc_rewritten_records =
+      registry.GetCounter("storage.vlog.gc_rewritten_records");
+  obs_.vlog_recovery_dropped_pointers =
+      registry.GetCounter("storage.vlog.recovery_dropped_pointers");
 }
 
 KVStore::~KVStore() {
@@ -224,6 +243,14 @@ Status KVStore::Recover() {
   bool manifest_found = false;
   IOTDB_RETURN_NOT_OK(LoadManifest(&manifest_found));
 
+  if (options_.value_separation) {
+    vlog_reader_ = std::make_unique<vlog::VlogReader>(env_, dbname_,
+                                                      block_cache_.get());
+    // Seal any vlog file a crash left active (its valid record prefix
+    // becomes a sealed file) before WAL replay dereferences pointers.
+    IOTDB_RETURN_NOT_OK(RecoverVlogFiles());
+  }
+
   mem_ = new MemTable(icmp_);
   mem_->Ref();
 
@@ -252,6 +279,9 @@ Status KVStore::Recover() {
 
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (options_.value_separation) {
+      IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
+    }
     // Flush replayed entries before the old WALs become deletable; the new
     // WAL does not contain them.
     if (mem_->NumEntries() > 0) {
@@ -266,6 +296,48 @@ Status KVStore::Recover() {
   return Status::OK();
 }
 
+namespace {
+
+/// WAL replay under key-value separation: a WAL record can outlive the vlog
+/// record it points at (the vlog tail was torn in a crash, or rotted). A
+/// pointer that no longer dereferences cleanly is dropped — the key falls
+/// back to its previous version or NotFound, never to garbage bytes. The
+/// per-entry sequence numbering still advances for dropped entries so
+/// surviving entries keep the exact sequence the WAL assigned them.
+class ValidatingReplayHandler final : public WriteBatch::Handler {
+ public:
+  ValidatingReplayHandler(vlog::VlogReader* reader, MemTable* mem,
+                          SequenceNumber seq)
+      : reader_(reader), mem_(mem), seq_(seq) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    vlog::ValuePointer ptr;
+    if (vlog::DecodeValuePointer(value, &ptr)) {
+      std::string unused;
+      if (!reader_->Get(ptr, key, &unused).ok()) {
+        dropped_pointers_++;
+        seq_++;
+        return;
+      }
+    }
+    mem_->Add(seq_++, ValueType::kValue, key, value);
+  }
+
+  void Delete(const Slice& key) override {
+    mem_->Add(seq_++, ValueType::kDeletion, key, Slice());
+  }
+
+  uint64_t dropped_pointers() const { return dropped_pointers_; }
+
+ private:
+  vlog::VlogReader* const reader_;
+  MemTable* const mem_;
+  SequenceNumber seq_;
+  uint64_t dropped_pointers_ = 0;
+};
+
+}  // namespace
+
 Status KVStore::ReplayLogFile(uint64_t number) {
   IOTDB_ASSIGN_OR_RETURN(auto file,
                          env_->NewSequentialFile(LogFileName(number)));
@@ -275,12 +347,28 @@ Status KVStore::ReplayLogFile(uint64_t number) {
   Slice record;
   std::string scratch;
   WriteBatch batch;
+  uint64_t dropped_pointers = 0;
   while (reader.ReadRecord(&record, &scratch)) {
     if (record.size() < 12) continue;
     IOTDB_RETURN_NOT_OK(WriteBatch::SetContents(&batch, record));
-    IOTDB_RETURN_NOT_OK(batch.InsertInto(mem_));
+    if (options_.value_separation) {
+      ValidatingReplayHandler handler(vlog_reader_.get(), mem_,
+                                      batch.sequence());
+      IOTDB_RETURN_NOT_OK(batch.Iterate(&handler));
+      dropped_pointers += handler.dropped_pointers();
+    } else {
+      IOTDB_RETURN_NOT_OK(batch.InsertInto(mem_));
+    }
     SequenceNumber last = batch.sequence() + batch.Count() - 1;
     last_sequence_ = std::max(last_sequence_, last);
+  }
+  if (dropped_pointers > 0) {
+    IOTDB_LOG(Warn) << "WAL replay dropped " << dropped_pointers
+                    << " value pointers whose vlog records were lost";
+    counters_.vlog_recovery_dropped_pointers.Add(dropped_pointers);
+    if (obs::Enabled()) {
+      obs_.vlog_recovery_dropped_pointers->Add(dropped_pointers);
+    }
   }
   if (reporter.dropped_bytes > 0) {
     // Recovery skipped damaged regions rather than dropping them silently;
@@ -330,6 +418,11 @@ Status KVStore::WriteManifest() {
   out << "next_file " << next_file_number_ << "\n";
   out << "last_sequence " << last_sequence_ << "\n";
   out << "log_number " << log_number_ << "\n";
+  out << "vlog_sep " << (options_.value_separation ? 1 : 0) << "\n";
+  for (const auto& vf : vlog_files_) {
+    out << "vlog " << vf.number << " " << vf.size << " " << vf.dead_bytes
+        << "\n";
+  }
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : levels_.files[level]) {
       out << "file " << level << " " << f->number << " " << f->file_size
@@ -360,6 +453,20 @@ Status KVStore::LoadManifest(bool* found) {
       in >> last_sequence_;
     } else if (tag == "log_number") {
       in >> log_number_;
+    } else if (tag == "vlog_sep") {
+      int sep;
+      in >> sep;
+      // The data format is a property of the store, not of this Open call:
+      // stored pointers are meaningless without separation enabled.
+      if ((sep != 0) != options_.value_separation) {
+        IOTDB_LOG(Warn) << dbname_ << ": manifest value_separation="
+                        << sep << " overrides Options";
+        options_.value_separation = (sep != 0);
+      }
+    } else if (tag == "vlog") {
+      vlog::VlogFileInfo vf;
+      in >> vf.number >> vf.size >> vf.dead_bytes;
+      vlog_files_.push_back(vf);
     } else if (tag == "file") {
       int level;
       uint64_t number, size;
@@ -400,6 +507,9 @@ Status KVStore::LoadManifest(bool* found) {
                        0;
               });
   }
+  // Oldest vlog file first: the front is the GC tail.
+  std::sort(vlog_files_.begin(), vlog_files_.end(),
+            [](const auto& a, const auto& b) { return a.number < b.number; });
   *found = true;
   return Status::OK();
 }
@@ -420,6 +530,13 @@ void KVStore::RemoveObsoleteFiles() {
       keep = (number >= log_number_);
     } else if (suffix == "sst") {
       keep = (live.count(number) > 0);
+    } else if (suffix == "vlog") {
+      // Live set plus files awaiting deferred deletion (GC-reclaimed while
+      // an iterator or snapshot may still dereference into them).
+      keep = IsVlogLiveLocked(number) ||
+             std::find(vlog_pending_delete_.begin(),
+                       vlog_pending_delete_.end(),
+                       number) != vlog_pending_delete_.end();
     }
     if (!keep) {
       env_->RemoveFile(dbname_ + "/" + name).ok();
@@ -552,8 +669,20 @@ Status KVStore::VerifyIntegrity(ScrubReport* report) {
   if (log_file_ != nullptr) {
     log_file_->Flush().ok();
     IOTDB_RETURN_NOT_OK(VerifyWalTailLocked(&rep->wal_dropped_bytes));
+    // The WAL tail walk is scrub work too: count its bytes so the paced
+    // scrub accounting (and the FDR injected-vs-detected math) stays honest.
+    auto wal_size = env_->FileSize(LogFileName(log_number_));
+    if (wal_size.ok()) {
+      rep->bytes_checked += wal_size.ValueOrDie();
+      if (obs::Enabled()) {
+        obs_.scrub_bytes_checked->Add(wal_size.ValueOrDie());
+      }
+    }
   }
   QuarantineCorruptTables(&lock, rep);
+  if (options_.value_separation) {
+    VerifyVlogFiles(&lock, rep);
+  }
   return Status::OK();
 }
 
@@ -631,10 +760,24 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
     {
       leader_active_ = true;
       lock.unlock();
+      // Key-value separation: divert large values into the active vlog file
+      // and commit a batch of pointers instead. The vlog bytes are flushed
+      // (synced when the commit syncs) *before* the WAL record referencing
+      // them, so a replayable pointer always has its record on disk.
+      WriteBatch* to_commit = updates;
+      if (options_.value_separation) {
+        status = SeparateBatch(updates, &vlog_sep_batch_);
+        if (status.ok()) {
+          to_commit = &vlog_sep_batch_;
+          status = w.sync ? vlog_writer_->Sync() : vlog_writer_->Flush();
+        }
+      }
       const bool observe = obs::Enabled();
       const bool tracing = obs::TraceBuffer::Enabled();
       uint64_t t0 = (observe || tracing) ? options_.clock->NowMicros() : 0;
-      status = log_->AddRecord(updates->Contents());
+      if (status.ok()) {
+        status = log_->AddRecord(to_commit->Contents());
+      }
       uint64_t t1 = observe ? options_.clock->NowMicros() : 0;
       if (status.ok() && w.sync) {
         status = log_file_->Sync();
@@ -658,13 +801,25 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
         }
       }
       if (status.ok()) {
-        status = updates->InsertInto(mem_);
+        status = to_commit->InsertInto(mem_);
       }
       lock.lock();
       leader_active_ = false;
       background_work_finished_cv_.notify_all();
     }
     if (updates == &tmp_batch_) tmp_batch_.Clear();
+    if (options_.value_separation) {
+      vlog_sep_batch_.Clear();
+      if (status.ok()) {
+        // Roll (seal + reopen) under mu_ with the leader slot released; a
+        // failed reopen leaves no active writer and the next write's
+        // MakeRoomForWrite retries. The committed write itself succeeded.
+        Status roll = MaybeRollVlogLocked();
+        if (!roll.ok()) {
+          IOTDB_LOG(Error) << "vlog roll failed: " << roll.ToString();
+        }
+      }
+    }
     last_sequence_ = last_sequence;
     counters_.puts.Add(static_cast<uint64_t>(batch_count));
     if (obs::Enabled()) {
@@ -722,6 +877,11 @@ WriteBatch* KVStore::BuildBatchGroup(WriterState** last_writer) {
 
 Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
   uint64_t stall_start = 0;
+  if (options_.value_separation && vlog_writer_ == nullptr) {
+    // A previous roll failed to reopen the active vlog file; the leader
+    // needs one before it can separate values.
+    IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
+  }
   for (;;) {
     if (!background_error_.ok()) {
       return background_error_;
@@ -778,7 +938,8 @@ Status KVStore::SwitchMemTable() {
 
 void KVStore::MaybeScheduleBackgroundWork() {
   if (background_scheduled_ || shutting_down_) return;
-  if (imm_ == nullptr && !NeedsCompaction() && pending_scrub_.empty()) {
+  if (imm_ == nullptr && !NeedsCompaction() && pending_scrub_.empty() &&
+      pending_vlog_scrub_.empty() && !NeedsVlogGcLocked()) {
     return;
   }
   background_scheduled_ = true;
@@ -797,6 +958,11 @@ void KVStore::BackgroundCall() {
     } else if (!pending_scrub_.empty()) {
       // Idle cycle: pace the background scrubber between compactions.
       s = ScrubOneQueued(&lock);
+    } else if (!pending_vlog_scrub_.empty()) {
+      s = ScrubOneVlogQueued(&lock);
+    } else if (NeedsVlogGcLocked()) {
+      // One tail file per idle cycle, paced like the background scrub.
+      s = GarbageCollectLocked(&lock, /*chunk_size=*/1, nullptr);
     }
     if (!s.ok()) {
       IOTDB_LOG(Error) << "background work failed: " << s.ToString();
@@ -1001,6 +1167,9 @@ Status KVStore::RunCompactionAtLevel(int level,
   Status s;
   std::vector<std::shared_ptr<FileMeta>> outputs;
   uint64_t bytes_read = 0;
+  // Dead-byte estimates learned from dropped value pointers; applied to the
+  // vlog bookkeeping at install time (under mu_) to gate background GC.
+  std::map<uint64_t, uint64_t> vlog_dead;
   {
     std::vector<std::unique_ptr<Iterator>> children;
     for (const auto& f : all_inputs) {
@@ -1073,7 +1242,15 @@ Status KVStore::RunCompactionAtLevel(int level,
         last_sequence_for_key = ikey.sequence;
       }
 
-      if (drop) continue;
+      if (drop) {
+        if (options_.value_separation) {
+          vlog::ValuePointer ptr;
+          if (vlog::DecodeValuePointer(merged->value(), &ptr)) {
+            vlog_dead[ptr.file_no] += ptr.size;
+          }
+        }
+        continue;
+      }
 
       if (builder == nullptr) {
         {
@@ -1135,6 +1312,14 @@ Status KVStore::RunCompactionAtLevel(int level,
     obs_.compactions->Increment();
     obs_.compaction_bytes_read->Add(bytes_read);
   }
+  for (const auto& [file_no, dead] : vlog_dead) {
+    for (auto& vf : vlog_files_) {
+      if (vf.number == file_no) {
+        vf.dead_bytes = std::min(vf.size, vf.dead_bytes + dead);
+        break;
+      }
+    }
+  }
   IOTDB_RETURN_NOT_OK(WriteManifest());
   RemoveObsoleteFiles();
   return Status::OK();
@@ -1188,6 +1373,15 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
   std::vector<std::shared_ptr<FileMeta>> candidates;
   counters_.gets.Increment();
   if (obs::Enabled()) obs_.gets->Increment();
+  // Under separation, pin the read so GC defers physical deletion of vlog
+  // files this lookup may still dereference into (local classes share the
+  // enclosing member function's access).
+  struct ReadPin {
+    KVStore* store = nullptr;
+    ~ReadPin() {
+      if (store != nullptr) store->OnIteratorClosed();
+    }
+  } pin;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = last_sequence_;
@@ -1201,6 +1395,10 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
           candidates.push_back(f);
         }
       }
+    }
+    if (options_.value_separation) {
+      open_readers_++;
+      pin.store = this;
     }
   }
 
@@ -1219,7 +1417,14 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
   }
   mem->Unref();
   if (imm != nullptr) imm->Unref();
-  if (done) return result;
+  if (done) {
+    if (result.ok() && options_.value_separation) {
+      std::string raw = std::move(result).MoveValueUnsafe();
+      IOTDB_RETURN_NOT_OK(MaterializeValue(key, &raw));
+      return raw;
+    }
+    return result;
+  }
 
   GetState state;
   state.icmp = &icmp_;
@@ -1242,6 +1447,9 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
   }
   if (!state.found || state.is_deletion) {
     return Status::NotFound("key not found");
+  }
+  if (options_.value_separation) {
+    IOTDB_RETURN_NOT_OK(MaterializeValue(key, &state.value));
   }
   return std::move(state.value);
 }
@@ -1269,19 +1477,92 @@ std::unique_ptr<Iterator> KVStore::NewInternalIterator(
   return NewMergingIterator(&icmp_, std::move(children));
 }
 
+/// Lazily dereferences value pointers for iteration: keys stream straight
+/// from the LSM; the vlog record is only read when value() is called.
+/// A failed dereference surfaces through status() and yields an empty
+/// value. Registered with the store so GC defers physical deletion of
+/// reclaimed vlog files while any iterator might still point into them.
+class VlogDerefIterator final : public Iterator {
+ public:
+  VlogDerefIterator(KVStore* store, std::unique_ptr<Iterator> inner)
+      : store_(store), inner_(std::move(inner)) {}
+
+  ~VlogDerefIterator() override {
+    inner_.reset();
+    store_->OnIteratorClosed();
+  }
+
+  bool Valid() const override { return inner_->Valid(); }
+  void SeekToFirst() override {
+    inner_->SeekToFirst();
+    materialized_valid_ = false;
+  }
+  void SeekToLast() override {
+    inner_->SeekToLast();
+    materialized_valid_ = false;
+  }
+  void Seek(const Slice& target) override {
+    inner_->Seek(target);
+    materialized_valid_ = false;
+  }
+  void Next() override {
+    inner_->Next();
+    materialized_valid_ = false;
+  }
+  void Prev() override {
+    inner_->Prev();
+    materialized_valid_ = false;
+  }
+  Slice key() const override { return inner_->key(); }
+
+  Slice value() const override {
+    if (!materialized_valid_) {
+      materialized_ = inner_->value().ToString();
+      Status s = store_->MaterializeValue(inner_->key(), &materialized_);
+      if (!s.ok()) {
+        if (deref_status_.ok()) deref_status_ = s;
+        materialized_.clear();
+      }
+      materialized_valid_ = true;
+    }
+    return materialized_;
+  }
+
+  Status status() const override {
+    if (!deref_status_.ok()) return deref_status_;
+    return inner_->status();
+  }
+
+ private:
+  KVStore* const store_;
+  std::unique_ptr<Iterator> inner_;
+  mutable std::string materialized_;
+  mutable bool materialized_valid_ = false;
+  mutable Status deref_status_;
+};
+
 std::unique_ptr<Iterator> KVStore::NewIterator(const ReadOptions& options) {
   std::vector<std::shared_ptr<Table>> pinned_tables;
   std::vector<MemTable*> pinned_mems;
   SequenceNumber snapshot;
   std::unique_ptr<Iterator> internal;
+  bool separated = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = last_sequence_;
     internal = NewInternalIterator(options, &pinned_tables, &pinned_mems);
+    if (options_.value_separation) {
+      open_readers_++;
+      separated = true;
+    }
   }
   auto db_iter = NewDBIterator(&icmp_, std::move(internal), snapshot);
-  return std::make_unique<PinningIterator>(
+  auto pinned = std::make_unique<PinningIterator>(
       std::move(db_iter), std::move(pinned_tables), std::move(pinned_mems));
+  if (separated) {
+    return std::make_unique<VlogDerefIterator>(this, std::move(pinned));
+  }
+  return pinned;
 }
 
 Status KVStore::Scan(const ReadOptions& options, const Slice& start,
@@ -1313,6 +1594,7 @@ void KVStore::ReleaseSnapshot(SequenceNumber snapshot) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = snapshots_.find(snapshot);
   if (it != snapshots_.end()) snapshots_.erase(it);
+  MaybeDeleteVlogFilesLocked();
 }
 
 // ---------------------------------------------------------------------------
@@ -1376,13 +1658,20 @@ KVStoreStats KVStore::GetStats() {
       counters_.wal_recovery_dropped_bytes.Value();
   stats.scrubbed_files = counters_.scrubbed_files.Value();
   stats.quarantined_files = counters_.quarantined_files.Value();
+  stats.vlog_appended_bytes = counters_.vlog_appended_bytes.Value();
+  stats.vlog_dereferences = counters_.vlog_dereferences.Value();
+  stats.vlog_gc_reclaimed_bytes = counters_.vlog_gc_reclaimed_bytes.Value();
+  stats.vlog_recovery_dropped_pointers =
+      counters_.vlog_recovery_dropped_pointers.Value();
   {
-    // Only the level file lists still need the store mutex.
+    // The level file lists and vlog set still need the store mutex.
     std::lock_guard<std::mutex> lock(mu_);
     for (int level = 0; level < kNumLevels; ++level) {
       stats.num_files[level] = static_cast<int>(levels_.NumFiles(level));
       stats.level_bytes[level] = levels_.LevelBytes(level);
     }
+    stats.vlog_files =
+        vlog_files_.size() + (vlog_writer_ != nullptr ? 1 : 0);
   }
   if (block_cache_ != nullptr) {
     stats.block_cache_hits = block_cache_->hits();
@@ -1396,6 +1685,541 @@ uint64_t KVStore::CountKeysSlow() {
   uint64_t n = 0;
   for (iter->SeekToFirst(); iter->Valid(); iter->Next()) ++n;
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Key-value separation (vlog)
+// ---------------------------------------------------------------------------
+
+std::string KVStore::VlogName(uint64_t number) const {
+  return vlog::VlogFileName(dbname_, number);
+}
+
+Status KVStore::RecoverVlogFiles() {
+  // Vlog files on disk that the manifest does not list as sealed: at most
+  // one should exist in practice — the file that was active when the
+  // previous incarnation died. Seal it at its valid record prefix; WAL
+  // replay drops any pointer past that prefix (torn tail).
+  IOTDB_ASSIGN_OR_RETURN(auto files, env_->ListDir(dbname_));
+  for (const std::string& name : files) {
+    uint64_t number;
+    std::string suffix;
+    if (!ParseFileName(name, &number, &suffix) || suffix != "vlog") continue;
+    bool known = false;
+    for (const auto& vf : vlog_files_) {
+      if (vf.number == number) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string contents;
+    IOTDB_RETURN_NOT_OK(
+        env_->ReadFileToString(dbname_ + "/" + name, &contents));
+    Slice input(contents);
+    uint64_t valid = 0;
+    while (!input.empty()) {
+      Slice key, value;
+      uint32_t record_size = 0;
+      if (!vlog::ParseRecord(&input, &key, &value, &record_size).ok()) break;
+      valid += record_size;
+    }
+    if (valid == 0) {
+      env_->RemoveFile(dbname_ + "/" + name).ok();
+      continue;
+    }
+    if (valid < contents.size()) {
+      IOTDB_LOG(Warn) << dbname_ << ": sealing crashed vlog " << name
+                      << " at " << valid << "/" << contents.size()
+                      << " valid bytes";
+    }
+    vlog_files_.push_back(vlog::VlogFileInfo{number, valid, 0});
+  }
+  std::sort(vlog_files_.begin(), vlog_files_.end(),
+            [](const auto& a, const auto& b) { return a.number < b.number; });
+  for (const auto& vf : vlog_files_) {
+    next_file_number_ = std::max(next_file_number_, vf.number + 1);
+  }
+  return Status::OK();
+}
+
+Status KVStore::OpenVlogWriterLocked() {
+  uint64_t number = next_file_number_++;
+  IOTDB_ASSIGN_OR_RETURN(auto file, env_->NewWritableFile(VlogName(number)));
+  vlog_writer_ =
+      std::make_unique<vlog::VlogWriter>(std::move(file), number, 0);
+  return Status::OK();
+}
+
+Status KVStore::SealActiveVlogLocked() {
+  // Caller must have quiesced the group-commit leader.
+  if (vlog_writer_ == nullptr) return Status::OK();
+  IOTDB_RETURN_NOT_OK(vlog_writer_->Sync());
+  uint64_t number = vlog_writer_->file_no();
+  uint64_t size = vlog_writer_->offset();
+  vlog_writer_.reset();
+  if (size == 0) {
+    // Nothing was ever written: drop the empty file instead of sealing it.
+    env_->RemoveFile(VlogName(number)).ok();
+    return Status::OK();
+  }
+  vlog_files_.push_back(vlog::VlogFileInfo{number, size, 0});
+  if (options_.background_scrub) pending_vlog_scrub_.push_back(number);
+  return Status::OK();
+}
+
+Status KVStore::MaybeRollVlogLocked() {
+  if (vlog_writer_ == nullptr ||
+      vlog_writer_->offset() < options_.vlog_file_size) {
+    return Status::OK();
+  }
+  IOTDB_RETURN_NOT_OK(SealActiveVlogLocked());
+  IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
+  IOTDB_RETURN_NOT_OK(WriteManifest());
+  MaybeScheduleBackgroundWork();  // the sealed file queued a scrub
+  return Status::OK();
+}
+
+Status KVStore::SeparateBatch(WriteBatch* updates, WriteBatch* out) {
+  // Leader-only, called outside mu_ with leader_active_ set. Values at or
+  // above min_value_size divert into the active vlog; everything the LSM
+  // stores carries a one-byte tag so inline values and pointers coexist.
+  class Separator final : public WriteBatch::Handler {
+   public:
+    Separator(KVStore* store, WriteBatch* out) : store_(store), out_(out) {}
+
+    void Put(const Slice& key, const Slice& value) override {
+      stored_.clear();
+      if (value.size() >= store_->options_.min_value_size) {
+        vlog::ValuePointer ptr;
+        Status s = store_->vlog_writer_->Add(key, value, &ptr);
+        if (!s.ok()) {
+          if (status_.ok()) status_ = s;
+          return;
+        }
+        vlog::EncodeValuePointer(&stored_, ptr);
+        separated_records_++;
+        separated_bytes_ += ptr.size;
+      } else {
+        stored_.reserve(value.size() + 1);
+        stored_.push_back(vlog::kInlineTag);
+        stored_.append(value.data(), value.size());
+      }
+      out_->Put(key, Slice(stored_));
+    }
+
+    void Delete(const Slice& key) override { out_->Delete(key); }
+
+    const Status& status() const { return status_; }
+    uint64_t separated_records() const { return separated_records_; }
+    uint64_t separated_bytes() const { return separated_bytes_; }
+
+   private:
+    KVStore* const store_;
+    WriteBatch* const out_;
+    std::string stored_;
+    Status status_;
+    uint64_t separated_records_ = 0;
+    uint64_t separated_bytes_ = 0;
+  };
+
+  out->Clear();
+  Separator sep(this, out);
+  IOTDB_RETURN_NOT_OK(updates->Iterate(&sep));
+  IOTDB_RETURN_NOT_OK(sep.status());
+  out->SetSequence(updates->sequence());
+  if (sep.separated_records() > 0) {
+    counters_.vlog_appended_bytes.Add(sep.separated_bytes());
+    if (obs::Enabled()) {
+      obs_.vlog_appended_records->Add(sep.separated_records());
+      obs_.vlog_appended_bytes->Add(sep.separated_bytes());
+    }
+  }
+  return Status::OK();
+}
+
+Status KVStore::MaterializeValue(const Slice& user_key, std::string* value) {
+  if (value->empty()) {
+    return Status::Corruption("separated value missing tag byte");
+  }
+  if ((*value)[0] == vlog::kInlineTag) {
+    value->erase(0, 1);
+    return Status::OK();
+  }
+  vlog::ValuePointer ptr;
+  if (!vlog::DecodeValuePointer(Slice(*value), &ptr)) {
+    return Status::Corruption("malformed value pointer");
+  }
+  vlog::VlogReader::DerefStats stats;
+  std::string out;
+  Status s = vlog_reader_->Get(ptr, user_key, &out, &stats);
+  counters_.vlog_dereferences.Increment();
+  if (obs::Enabled()) {
+    obs_.vlog_dereferences->Increment();
+    if (stats.cache_hits > 0) {
+      obs_.vlog_deref_cache_hits->Add(stats.cache_hits);
+    }
+    if (stats.cache_misses > 0) {
+      obs_.vlog_deref_cache_misses->Add(stats.cache_misses);
+    }
+  }
+  if (!s.ok()) {
+    // A rotten record poisons the whole file's trust: quarantine it so no
+    // later read trips over it, and surface the error — the cluster layer
+    // fails the read over to a healthy replica and repairs from there.
+    if (s.IsCorruption()) QuarantineVlogFile(ptr.file_no, s);
+    return s;
+  }
+  *value = std::move(out);
+  return Status::OK();
+}
+
+Status KVStore::RawGetLocked(const Slice& user_key, SequenceNumber snapshot,
+                             bool* found, std::string* raw_value) {
+  // Newest LSM version of `user_key`, tag byte and all — no vlog
+  // dereference. Used by GC to decide record liveness.
+  *found = false;
+  std::string value;
+  Status s;
+  if (mem_->Get(user_key, snapshot, &value, &s) ||
+      (imm_ != nullptr && imm_->Get(user_key, snapshot, &value, &s))) {
+    if (s.IsNotFound()) return Status::OK();  // newest version: tombstone
+    IOTDB_RETURN_NOT_OK(s);
+    *found = true;
+    *raw_value = std::move(value);
+    return Status::OK();
+  }
+  GetState state;
+  state.icmp = &icmp_;
+  state.user_key = user_key;
+  state.snapshot = snapshot;
+  std::string lookup_key = MakeLookupKey(user_key, snapshot);
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : levels_.files[level]) {
+      if (!FileOverlapsRange(icmp_, *f, user_key, user_key)) continue;
+      IOTDB_RETURN_NOT_OK(f->table->InternalGet(
+          ReadOptions(), Slice(lookup_key), &state, GetHandler));
+    }
+  }
+  if (state.found && !state.is_deletion) {
+    *found = true;
+    *raw_value = std::move(state.value);
+  }
+  return Status::OK();
+}
+
+bool KVStore::IsVlogLiveLocked(uint64_t number) const {
+  for (const auto& vf : vlog_files_) {
+    if (vf.number == number) return true;
+  }
+  return vlog_writer_ != nullptr && vlog_writer_->file_no() == number;
+}
+
+bool KVStore::IsLiveVlogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& vf : vlog_files_) {
+    if (VlogName(vf.number) == path) return true;
+  }
+  return vlog_writer_ != nullptr && VlogName(vlog_writer_->file_no()) == path;
+}
+
+bool KVStore::NeedsVlogGcLocked() const {
+  if (!options_.value_separation || !options_.background_vlog_gc) {
+    return false;
+  }
+  if (vlog_gc_running_ || vlog_files_.empty()) return false;
+  const vlog::VlogFileInfo& tail = vlog_files_.front();
+  if (tail.size == 0) return false;
+  return static_cast<double>(tail.dead_bytes) /
+             static_cast<double>(tail.size) >=
+         options_.vlog_gc_dead_ratio;
+}
+
+Status KVStore::GarbageCollect(uint64_t chunk_size,
+                               uint64_t* reclaimed_bytes) {
+  if (reclaimed_bytes != nullptr) *reclaimed_bytes = 0;
+  if (!options_.value_separation) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (vlog_gc_running_) {
+    background_work_finished_cv_.wait(lock);
+  }
+  return GarbageCollectLocked(&lock, chunk_size, reclaimed_bytes);
+}
+
+Status KVStore::GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
+                                     uint64_t chunk_size,
+                                     uint64_t* reclaimed_bytes) {
+  vlog_gc_running_ = true;
+  struct Running {  // clears the flag on every exit path
+    KVStore* store;
+    ~Running() {
+      store->vlog_gc_running_ = false;
+      store->background_work_finished_cv_.notify_all();
+    }
+  } running{this};
+
+  obs::TraceSpan gc_span("storage.vlog.gc", nullptr, options_.clock);
+  uint64_t processed = 0;
+  uint64_t reclaimed_total = 0;
+  uint64_t scanned_total = 0;
+  uint64_t rewritten = 0;
+  // One pass covers at most the files sealed when it started. GC re-puts
+  // land in the active vlog, which may roll and seal *new* files mid-pass;
+  // chasing those (all-live by construction) would never terminate.
+  const uint64_t pass_limit =
+      vlog_files_.empty() ? 0 : vlog_files_.back().number;
+  Status status;
+  while (status.ok() && !vlog_files_.empty() && !shutting_down_) {
+    if (chunk_size > 0 && processed >= chunk_size) break;
+    vlog::VlogFileInfo tail = vlog_files_.front();
+    if (tail.number > pass_limit) break;
+
+    lock->unlock();
+    // The tail file is sealed (immutable): scan it without the lock.
+    std::vector<vlog::GcRecord> records;
+    uint64_t file_scanned = 0;
+    Status scan = vlog::ScanFileForGc(env_, dbname_, tail.number, tail.size,
+                                      &records, &file_scanned);
+    lock->lock();
+
+    scanned_total += file_scanned;
+    if (!scan.ok()) {
+      // Records past the damage may still be live: quarantine (keeps the
+      // bytes for forensics and replica repair) rather than delete.
+      IOTDB_LOG(Error) << "vlog GC scan of file " << tail.number
+                       << " failed: " << scan.ToString();
+      if (scan.IsCorruption()) {
+        QuarantineVlogFileLocked(lock, tail.number, scan);
+      }
+      status = scan;
+      break;
+    }
+    // The set may have changed while unlocked (concurrent quarantine).
+    if (vlog_files_.empty() || vlog_files_.front().number != tail.number) {
+      continue;
+    }
+
+    // The re-put batch touches the active vlog, the WAL, and the memtable —
+    // all leader-owned; quiesce the leader before touching any of them.
+    while (leader_active_) {
+      background_work_finished_cv_.wait(*lock);
+    }
+    if (vlog_writer_ == nullptr) {
+      status = OpenVlogWriterLocked();
+      if (!status.ok()) break;
+    }
+
+    WriteBatch rebatch;
+    uint64_t live_bytes = 0;
+    for (const auto& rec : records) {
+      // Live iff the newest LSM version of the key is exactly this pointer;
+      // overwritten and deleted keys fail the comparison.
+      std::string expect;
+      vlog::EncodeValuePointer(&expect, rec.ptr);
+      bool found = false;
+      std::string raw;
+      status = RawGetLocked(Slice(rec.key), last_sequence_, &found, &raw);
+      if (!status.ok()) break;
+      if (!found || raw != expect) continue;  // dead record
+      vlog::ValuePointer fresh;
+      status = vlog_writer_->Add(Slice(rec.key), Slice(rec.value), &fresh);
+      if (!status.ok()) break;
+      std::string stored;
+      vlog::EncodeValuePointer(&stored, fresh);
+      rebatch.Put(Slice(rec.key), Slice(stored));
+      live_bytes += rec.ptr.size;
+    }
+    if (!status.ok()) break;
+
+    if (rebatch.Count() > 0) {
+      // Commit like a write: vlog bytes durable before the WAL record that
+      // references them, then the memtable.
+      rebatch.SetSequence(last_sequence_ + 1);
+      status = vlog_writer_->Sync();
+      if (status.ok()) status = log_->AddRecord(rebatch.Contents());
+      if (status.ok()) status = log_file_->Sync();
+      if (status.ok()) status = rebatch.InsertInto(mem_);
+      if (!status.ok()) break;
+      last_sequence_ += rebatch.Count();
+      rewritten += static_cast<uint64_t>(rebatch.Count());
+    }
+
+    // Retire the tail. Physical deletion waits for readers that may still
+    // dereference the superseded pointers.
+    vlog_files_.erase(vlog_files_.begin());
+    for (auto it = pending_vlog_scrub_.begin();
+         it != pending_vlog_scrub_.end();) {
+      it = (*it == tail.number) ? pending_vlog_scrub_.erase(it) : it + 1;
+    }
+    vlog_pending_delete_.push_back(tail.number);
+    vlog_reader_->Evict(tail.number);
+    MaybeDeleteVlogFilesLocked();
+    processed += tail.size;
+    reclaimed_total += tail.size - live_bytes;
+
+    Status roll = MaybeRollVlogLocked();
+    if (!roll.ok()) {
+      IOTDB_LOG(Error) << "vlog roll during GC failed: " << roll.ToString();
+    }
+    status = WriteManifest();
+  }
+
+  counters_.vlog_gc_reclaimed_bytes.Add(reclaimed_total);
+  if (obs::Enabled()) {
+    obs_.vlog_gc_passes->Increment();
+    obs_.vlog_gc_scanned_bytes->Add(scanned_total);
+    obs_.vlog_gc_reclaimed_bytes->Add(reclaimed_total);
+    obs_.vlog_gc_rewritten_records->Add(rewritten);
+  }
+  gc_span.SetArg("scanned_bytes", scanned_total);
+  gc_span.SetArg("reclaimed_bytes", reclaimed_total);
+  gc_span.Stop();
+  if (reclaimed_bytes != nullptr) *reclaimed_bytes = reclaimed_total;
+  return status;
+}
+
+void KVStore::QuarantineVlogFile(uint64_t number, const Status& cause) {
+  std::unique_lock<std::mutex> lock(mu_);
+  QuarantineVlogFileLocked(&lock, number, cause);
+}
+
+void KVStore::QuarantineVlogFileLocked(std::unique_lock<std::mutex>* lock,
+                                       uint64_t number, const Status& cause) {
+  if (vlog_writer_ != nullptr && vlog_writer_->file_no() == number) {
+    // Seal first so the writer never appends to a path that quarantine just
+    // renamed away. Sync is best effort — the file is being retired anyway.
+    while (leader_active_) {
+      background_work_finished_cv_.wait(*lock);
+    }
+    vlog_writer_->Sync().ok();
+    vlog_files_.push_back(
+        vlog::VlogFileInfo{number, vlog_writer_->offset(), 0});
+    vlog_writer_.reset();
+    Status reopen = OpenVlogWriterLocked();
+    if (!reopen.ok()) {
+      // MakeRoomForWrite retries the reopen on the next write.
+      IOTDB_LOG(Error) << "vlog reopen after quarantine failed: "
+                       << reopen.ToString();
+    }
+  }
+  bool was_live = false;
+  for (auto it = vlog_files_.begin(); it != vlog_files_.end(); ++it) {
+    if (it->number == number) {
+      vlog_files_.erase(it);
+      was_live = true;
+      break;
+    }
+  }
+  if (!was_live) return;  // already quarantined or reclaimed
+  for (auto it = pending_vlog_scrub_.begin();
+       it != pending_vlog_scrub_.end();) {
+    it = (*it == number) ? pending_vlog_scrub_.erase(it) : it + 1;
+  }
+  vlog_reader_->Evict(number);
+  QuarantinePath(VlogName(number), cause);
+  WriteManifest().ok();  // quarantine must survive a restart; best effort
+}
+
+void KVStore::VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
+                              ScrubReport* report) {
+  // Snapshot the sealed set plus the active file's quiesced prefix; the
+  // walk itself runs without the lock (readers and writers proceed, new
+  // appends land past each file's recorded limit).
+  struct Target {
+    uint64_t number;
+    uint64_t limit;
+  };
+  std::vector<Target> targets;
+  for (const auto& vf : vlog_files_) {
+    targets.push_back({vf.number, vf.size});
+  }
+  while (leader_active_) {
+    background_work_finished_cv_.wait(*lock);
+  }
+  if (vlog_writer_ != nullptr && vlog_writer_->offset() > 0) {
+    if (vlog_writer_->Flush().ok()) {
+      targets.push_back({vlog_writer_->file_no(), vlog_writer_->offset()});
+    }
+  }
+
+  lock->unlock();
+  std::vector<std::pair<Target, Status>> corrupt;
+  for (const auto& t : targets) {
+    uint64_t bytes = 0;
+    Status s = vlog_reader_->VerifyFile(t.number, t.limit, &bytes);
+    report->files_checked++;
+    report->bytes_checked += bytes;
+    RecordVlogScrub(bytes, !s.ok());
+    if (!s.ok()) {
+      report->corrupt_files++;
+      report->corrupt_paths.push_back(VlogName(t.number));
+      corrupt.emplace_back(t, s);
+    }
+  }
+  lock->lock();
+
+  for (const auto& [target, cause] : corrupt) {
+    if (!IsVlogLiveLocked(target.number)) continue;  // raced GC/quarantine
+    QuarantineVlogFileLocked(lock, target.number, cause);
+    report->quarantined_files++;
+  }
+}
+
+Status KVStore::ScrubOneVlogQueued(std::unique_lock<std::mutex>* lock) {
+  uint64_t number = 0;
+  uint64_t limit = 0;
+  bool found = false;
+  while (!found && !pending_vlog_scrub_.empty()) {
+    number = pending_vlog_scrub_.front();
+    pending_vlog_scrub_.pop_front();
+    for (const auto& vf : vlog_files_) {
+      if (vf.number == number) {
+        limit = vf.size;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return Status::OK();  // reclaimed or quarantined meanwhile
+
+  lock->unlock();
+  obs::TraceSpan scrub_span("storage.scrub.file", nullptr, options_.clock);
+  uint64_t bytes = 0;
+  Status s = vlog_reader_->VerifyFile(number, limit, &bytes);
+  scrub_span.SetArg("bytes", bytes);
+  scrub_span.Stop();
+  lock->lock();
+
+  RecordVlogScrub(bytes, !s.ok());
+  if (!s.ok() && IsVlogLiveLocked(number)) {
+    QuarantineVlogFileLocked(lock, number, s);
+  }
+  return Status::OK();  // a corrupt finding is healed, not a background error
+}
+
+void KVStore::RecordVlogScrub(uint64_t bytes, bool corrupt) {
+  counters_.scrubbed_files.Increment();
+  if (obs::Enabled()) {
+    obs_.scrub_files_checked->Increment();
+    obs_.scrub_bytes_checked->Add(bytes);
+    if (corrupt) obs_.scrub_corruption_detected->Increment();
+  }
+}
+
+void KVStore::MaybeDeleteVlogFilesLocked() {
+  if (vlog_pending_delete_.empty()) return;
+  if (open_readers_ > 0 || !snapshots_.empty()) return;
+  for (uint64_t number : vlog_pending_delete_) {
+    if (vlog_reader_ != nullptr) vlog_reader_->Evict(number);
+    env_->RemoveFile(VlogName(number)).ok();
+  }
+  vlog_pending_delete_.clear();
+}
+
+void KVStore::OnIteratorClosed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_readers_--;
+  MaybeDeleteVlogFilesLocked();
 }
 
 }  // namespace storage

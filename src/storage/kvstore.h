@@ -25,6 +25,9 @@
 #include "storage/memtable.h"
 #include "storage/options.h"
 #include "storage/version.h"
+#include "storage/vlog_gc.h"
+#include "storage/vlog_reader.h"
+#include "storage/vlog_writer.h"
 #include "storage/write_batch.h"
 
 namespace iotdb {
@@ -49,6 +52,12 @@ struct KVStoreStats {
   uint64_t wal_recovery_dropped_bytes = 0;
   uint64_t scrubbed_files = 0;
   uint64_t quarantined_files = 0;
+  // Key-value separation (zero when Options::value_separation is off).
+  uint64_t vlog_files = 0;  // live vlog files (sealed + active)
+  uint64_t vlog_appended_bytes = 0;
+  uint64_t vlog_dereferences = 0;
+  uint64_t vlog_gc_reclaimed_bytes = 0;
+  uint64_t vlog_recovery_dropped_pointers = 0;
 };
 
 /// Outcome of one KVStore::VerifyIntegrity pass.
@@ -132,6 +141,22 @@ class KVStore {
   /// fresh read.
   bool IsLiveTableFile(const std::string& path);
 
+  /// True iff `path` names a vlog file still in the live set (sealed or
+  /// active). GC-reclaimed and quarantined vlog files are not live.
+  bool IsLiveVlogFile(const std::string& path);
+
+  /// Value-log garbage collection: walks sealed vlog files from the tail
+  /// (oldest first), re-puts records whose pointer is still the newest
+  /// version of its key, and drops the file. Stops once at least
+  /// `chunk_size` bytes of vlog files were processed (0 = the whole tail).
+  /// Physical deletion is deferred while iterators or snapshots are open.
+  /// No-op unless Options::value_separation is on. Also paced
+  /// automatically in idle background cycles when
+  /// Options::background_vlog_gc is set and the tail file's dead ratio
+  /// crosses Options::vlog_gc_dead_ratio.
+  Status GarbageCollect(uint64_t chunk_size = 0,
+                        uint64_t* reclaimed_bytes = nullptr);
+
   /// Blocks until no background work is queued or running.
   void WaitForBackgroundWork();
 
@@ -144,17 +169,43 @@ class KVStore {
   const std::string& name() const { return dbname_; }
 
  private:
+  friend class VlogDerefIterator;
+
   KVStore(const Options& options, const std::string& name);
 
   struct WriterState;
 
   std::string LogFileName(uint64_t number) const;
   std::string TableFileName(uint64_t number) const;
+  std::string VlogName(uint64_t number) const;
   std::string ManifestFileName() const;
 
   Status Recover();
   Status ReplayLogFile(uint64_t number);
   Status OpenTable(uint64_t number, std::shared_ptr<FileMeta>* meta);
+
+  // Key-value separation (all Locked variants require mu_).
+  Status RecoverVlogFiles();
+  Status OpenVlogWriterLocked();
+  Status SealActiveVlogLocked();
+  Status MaybeRollVlogLocked();
+  Status SeparateBatch(WriteBatch* updates, WriteBatch* out);  // leader only
+  Status MaterializeValue(const Slice& user_key, std::string* value);
+  Status RawGetLocked(const Slice& user_key, SequenceNumber snapshot,
+                      bool* found, std::string* raw_value);
+  bool IsVlogLiveLocked(uint64_t number) const;
+  bool NeedsVlogGcLocked() const;
+  Status GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
+                              uint64_t chunk_size, uint64_t* reclaimed_bytes);
+  void QuarantineVlogFile(uint64_t number, const Status& cause);
+  void QuarantineVlogFileLocked(std::unique_lock<std::mutex>* lock,
+                                uint64_t number, const Status& cause);
+  void VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
+                       ScrubReport* report);
+  Status ScrubOneVlogQueued(std::unique_lock<std::mutex>* lock);
+  void RecordVlogScrub(uint64_t bytes, bool corrupt);
+  void MaybeDeleteVlogFilesLocked();
+  void OnIteratorClosed();
 
   // Write path helpers (mu_ held).
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
@@ -215,6 +266,23 @@ class KVStore {
 
   LevelState levels_;
 
+  // Key-value separation state. The writer is touched only by the
+  // group-commit leader (outside mu_, leader_active_ set) or under mu_ with
+  // the leader quiesced (GC, seal/roll, scrub of the active file); those two
+  // regimes are mutually exclusive. vlog_files_ holds sealed files, oldest
+  // (GC tail) first, and is persisted in the manifest.
+  std::unique_ptr<vlog::VlogReader> vlog_reader_;
+  std::unique_ptr<vlog::VlogWriter> vlog_writer_;
+  std::vector<vlog::VlogFileInfo> vlog_files_;
+  // Sealed vlog files awaiting a paced background checksum walk.
+  std::deque<uint64_t> pending_vlog_scrub_;
+  // GC-reclaimed files whose deletion waits until no reader can still hold
+  // a pointer into them: open iterators, in-flight point Gets, snapshots.
+  std::vector<uint64_t> vlog_pending_delete_;
+  int open_readers_ = 0;
+  bool vlog_gc_running_ = false;
+  WriteBatch vlog_sep_batch_;  // leader-only scratch for separated batches
+
   uint64_t next_file_number_ = 1;
   SequenceNumber last_sequence_ = 0;
 
@@ -254,6 +322,10 @@ class KVStore {
     obs::Counter wal_recovery_dropped_bytes;
     obs::Counter scrubbed_files;
     obs::Counter quarantined_files;
+    obs::Counter vlog_appended_bytes;
+    obs::Counter vlog_dereferences;
+    obs::Counter vlog_gc_reclaimed_bytes;
+    obs::Counter vlog_recovery_dropped_pointers;
   };
   StoreCounters counters_;
 
@@ -280,6 +352,16 @@ class KVStore {
     obs::Counter* scrub_corruption_detected;
     obs::Counter* quarantine_files;
     obs::Counter* quarantine_bytes;
+    obs::Counter* vlog_appended_records;
+    obs::Counter* vlog_appended_bytes;
+    obs::Counter* vlog_dereferences;
+    obs::Counter* vlog_deref_cache_hits;
+    obs::Counter* vlog_deref_cache_misses;
+    obs::Counter* vlog_gc_passes;
+    obs::Counter* vlog_gc_scanned_bytes;
+    obs::Counter* vlog_gc_reclaimed_bytes;
+    obs::Counter* vlog_gc_rewritten_records;
+    obs::Counter* vlog_recovery_dropped_pointers;
   };
   ObsInstruments obs_;
 };

@@ -1,0 +1,35 @@
+#include "storage/vlog_writer.h"
+
+namespace iotdb {
+namespace storage {
+namespace vlog {
+
+VlogWriter::VlogWriter(std::unique_ptr<WritableFile> file, uint64_t file_no,
+                       uint64_t initial_offset)
+    : file_(std::move(file)), file_no_(file_no), offset_(initial_offset) {}
+
+Status VlogWriter::Add(const Slice& key, const Slice& value,
+                       ValuePointer* ptr) {
+  ptr->file_no = file_no_;
+  ptr->offset = offset_;
+  ptr->size = AppendRecord(&buffer_, key, value);
+  offset_ += ptr->size;
+  return Status::OK();
+}
+
+Status VlogWriter::Flush() {
+  if (!buffer_.empty()) {
+    IOTDB_RETURN_NOT_OK(file_->Append(buffer_));
+    buffer_.clear();
+  }
+  return file_->Flush();
+}
+
+Status VlogWriter::Sync() {
+  IOTDB_RETURN_NOT_OK(Flush());
+  return file_->Sync();
+}
+
+}  // namespace vlog
+}  // namespace storage
+}  // namespace iotdb

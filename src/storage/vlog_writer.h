@@ -1,0 +1,59 @@
+#ifndef IOTDB_STORAGE_VLOG_WRITER_H_
+#define IOTDB_STORAGE_VLOG_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/vlog_format.h"
+
+namespace iotdb {
+namespace storage {
+namespace vlog {
+
+/// Appends records to one value-log file. Not thread-safe: the store
+/// serialises access (the group-commit leader owns it outside the store
+/// mutex; GC and recovery use it under the mutex with the leader quiesced).
+///
+/// Offsets handed out by Add() are stable immediately, but the bytes are
+/// only readable by others after Flush() (the store flushes once per write
+/// batch, before the WAL record that references the offsets is written).
+class VlogWriter {
+ public:
+  VlogWriter(std::unique_ptr<WritableFile> file, uint64_t file_no,
+             uint64_t initial_offset);
+
+  VlogWriter(const VlogWriter&) = delete;
+  VlogWriter& operator=(const VlogWriter&) = delete;
+
+  /// Buffers one record and returns the pointer naming it. The record is
+  /// not durable (or even visible to readers) until Flush()/Sync().
+  Status Add(const Slice& key, const Slice& value, ValuePointer* ptr);
+
+  /// Pushes buffered records to the file (readable via the env after this).
+  Status Flush();
+
+  /// Flush + fsync. Called before a synchronous WAL write so a synced WAL
+  /// record never references an unsynced vlog record.
+  Status Sync();
+
+  uint64_t file_no() const { return file_no_; }
+
+  /// Bytes in the file once buffered data is flushed.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  const uint64_t file_no_;
+  uint64_t offset_;
+  std::string buffer_;
+};
+
+}  // namespace vlog
+}  // namespace storage
+}  // namespace iotdb
+
+#endif  // IOTDB_STORAGE_VLOG_WRITER_H_

@@ -105,6 +105,72 @@ TEST(CorruptionResilienceTest, ScrubQuarantineReadRepairAndRecopy) {
   EXPECT_NE(cluster->Describe().find("integrity:"), std::string::npos);
 }
 
+// Same drill against the value log: with key-value separation on, bit-rot
+// in a .vlog file must be detected by the scrub, quarantined, fenced, and
+// healed by a shard re-copy exactly like a rotten SSTable.
+TEST(CorruptionResilienceTest, VlogQuarantineReadRepairAndRecopy) {
+  const int kKeys = 300;
+  ClusterOptions options = CorruptibleClusterOptions(3);
+  options.storage_options.value_separation = true;
+  options.storage_options.min_value_size = 256;
+  options.storage_options.vlog_file_size = 16 * 1024;
+  auto cluster = Cluster::Start(options).MoveValueUnsafe();
+  Client client(cluster.get());
+
+  auto big_value = [](int i) {
+    std::string v = Value(i) + ":";
+    v.append(1000, 'p');  // the TPCx-IoT ~1 KB payload: separated
+    return v;
+  };
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(client.Put(Key(i), big_value(i)).ok());
+  }
+  ASSERT_TRUE(cluster->FlushAll().ok());
+
+  Node* victim = cluster->node(0);
+  ASSERT_GT(victim->store()->GetStats().vlog_files, 1u);
+  auto damaged = cluster->fault_env()->CorruptRandomFile(
+      victim->data_dir(), storage::FileClass::kVlog, 32);
+  ASSERT_TRUE(damaged.ok()) << damaged.status().ToString();
+
+  storage::ScrubReport report;
+  ASSERT_TRUE(victim->store()->VerifyIntegrity(&report).ok());
+  ASSERT_EQ(report.quarantined_files, 1u);
+  ASSERT_FALSE(report.corrupt_paths.empty());
+  EXPECT_NE(report.corrupt_paths[0].find(".vlog"), std::string::npos);
+  EXPECT_TRUE(victim->under_repair());
+  std::vector<int> pending = cluster->PendingRepairNodes();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], 0);
+
+  // Reads fail over to healthy replicas while the victim is fenced.
+  for (int i = 0; i < kKeys; ++i) {
+    auto r = client.Get(Key(i));
+    ASSERT_TRUE(r.ok()) << Key(i) << ": " << r.status().ToString();
+    ASSERT_EQ(r.ValueOrDie(), big_value(i)) << Key(i);
+  }
+  FaultRecoveryStats stats = cluster->GetFaultRecoveryStats();
+  EXPECT_EQ(stats.corrupt_files_quarantined, 1u);
+  EXPECT_GT(stats.read_repairs, 0u);
+
+  // Shard re-copy heals the replica; the re-copied values separate into
+  // fresh vlog files and the store verifies clean.
+  ASSERT_TRUE(cluster->RunPendingRepairs().ok());
+  EXPECT_FALSE(victim->under_repair());
+  stats = cluster->GetFaultRecoveryStats();
+  EXPECT_EQ(stats.corruption_repairs, 1u);
+  EXPECT_GT(stats.recopied_kvps, 0u);
+
+  for (int i = 0; i < kKeys; ++i) {
+    auto r = victim->Get(Key(i));
+    ASSERT_TRUE(r.ok()) << Key(i) << ": " << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie(), big_value(i)) << Key(i);
+  }
+  storage::ScrubReport healed;
+  ASSERT_TRUE(victim->store()->VerifyIntegrity(&healed).ok());
+  EXPECT_EQ(healed.corrupt_files, 0u);
+}
+
 TEST(CorruptionResilienceTest, ScanFailsOverFromUnderRepairReplica) {
   ClusterOptions options = CorruptibleClusterOptions(3);
   options.shard_key_fn = SensorShardKey;

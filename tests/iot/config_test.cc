@@ -157,6 +157,31 @@ TEST(BenchmarkConfigTest, ParsesCorruptionSchedule) {
   EXPECT_EQ(restored.ValueOrDie().fault_corrupt_bits, 16);
 }
 
+TEST(BenchmarkConfigTest, ParsesCorruptTarget) {
+  // Default victim class is the SSTable.
+  Properties empty;
+  EXPECT_EQ(LoadBenchmarkConfig(empty).ValueOrDie().fault_corrupt_target,
+            "sstable");
+
+  Properties vlog;
+  ASSERT_TRUE(vlog.ParseText("fault.corrupt_sstable=1\n"
+                             "fault.corrupt_target=vlog\n")
+                  .ok());
+  auto result = LoadBenchmarkConfig(vlog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().fault_corrupt_target, "vlog");
+
+  // Round-trip through the serialized form.
+  auto restored =
+      LoadBenchmarkConfig(BenchmarkConfigToProperties(result.ValueOrDie()));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie().fault_corrupt_target, "vlog");
+
+  Properties bogus;
+  bogus.Set("fault.corrupt_target", "manifest");
+  EXPECT_TRUE(LoadBenchmarkConfig(bogus).status().IsInvalidArgument());
+}
+
 TEST(BenchmarkConfigTest, CorruptionScheduleValidated) {
   Properties orphan_threshold;
   orphan_threshold.Set("fault.corrupt_at_ops", "100");  // no target node

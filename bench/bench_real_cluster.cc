@@ -14,6 +14,13 @@
 //                       Perfetto) across all runs
 //   --scrub             enable background scrubbing on every store and run a
 //                       full integrity verification after each cluster's runs
+//   --net-faults        route replication through a seeded FaultChannel and
+//                       slow one replica by 50 ms per message: writes keep
+//                       meeting quorum on the fast replicas while the
+//                       straggler's rows arrive as hinted handoff; prints
+//                       quorum-met vs hinted so the graceful-degradation
+//                       path is visible (cross-check the FDR Availability
+//                       section)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -29,6 +36,7 @@ int main(int argc, char** argv) {
   uint64_t total_kvps = 40000;
   int substations = 2;
   bool scrub = false;
+  bool net_faults = false;
   // Shared flags (--metrics-out/--timeline-out/--trace-out) come from
   // benchutil; ParseArgs ignores this bench's own flags and vice versa.
   benchutil::Args args = benchutil::ParseArgs(argc, argv);
@@ -39,6 +47,8 @@ int main(int argc, char** argv) {
       substations = atoi(argv[i] + 7);
     } else if (strcmp(argv[i], "--scrub") == 0) {
       scrub = true;
+    } else if (strcmp(argv[i], "--net-faults") == 0) {
+      net_faults = true;
     }
   }
   benchutil::StartCollection(args);
@@ -59,6 +69,12 @@ int main(int argc, char** argv) {
     cluster_options.replication_factor = 3;
     cluster_options.shard_key_fn = iot::TpcxIotShardKey;
     cluster_options.storage_options.background_scrub = scrub;
+    if (net_faults) {
+      cluster_options.enable_net_fault_injection = true;
+      cluster_options.net_fault_seed = 42;
+      // Keep the straggler from stalling ingest: hint it out fast.
+      cluster_options.straggler_timeout_micros = 20'000;
+    }
     auto sut_result = cluster::Cluster::Start(cluster_options);
     if (!sut_result.ok()) {
       fprintf(stderr, "cluster start failed: %s\n",
@@ -73,6 +89,13 @@ int main(int argc, char** argv) {
     config.batch_size = 500;
     config.min_run_seconds = 0;      // host-scale run
     config.min_per_sensor_rate = 0;
+    if (net_faults) {
+      // 50 ms slow replica preset: every message into the last node is
+      // delayed, so quorum is carried by the other replicas and the
+      // straggler converges via hints.
+      config.fault_net_delay_node = nodes - 1;
+      config.fault_net_delay_ms = 50;
+    }
     iot::BenchmarkDriver driver(config, sut.get());
     iot::BenchmarkResult result = driver.Run();
     if (!result.status.ok()) {
@@ -90,6 +113,22 @@ int main(int argc, char** argv) {
            measured.metrics.ElapsedSeconds(),
            static_cast<unsigned long long>(queries.count()),
            queries.Mean() / 1000.0);
+    if (net_faults) {
+      const cluster::AvailabilityStats& avail = measured.availability;
+      const cluster::NetFaultCounters& net = measured.net_faults;
+      printf("%8s net-faults: %llu writes attempted, %llu quorum-met "
+             "(%.2f%%), %llu unavailable; %llu straggler-hinted kvps, "
+             "%llu messages delayed\n",
+             "", static_cast<unsigned long long>(avail.writes_attempted),
+             static_cast<unsigned long long>(avail.writes_quorum_met),
+             avail.writes_attempted == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(avail.writes_quorum_met) /
+                       static_cast<double>(avail.writes_attempted),
+             static_cast<unsigned long long>(avail.writes_unavailable),
+             static_cast<unsigned long long>(avail.straggler_hinted_kvps),
+             static_cast<unsigned long long>(net.delayed));
+    }
     if (scrub) {
       // The driver purges the SUT after its runs, so report what the
       // background scrubber covered while the workload was live.

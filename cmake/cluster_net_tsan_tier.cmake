@@ -1,0 +1,37 @@
+# Script mode (cmake -P): configure a thread-sanitized build of the
+# cluster_net test suite in BUILD_DIR, build just that target, and run it.
+# Invoked as a ctest from the normal (unsanitized) build so the quorum
+# coordinator's concurrency — mailbox delivery threads, the retry/straggler
+# timer, the hint drain loop, and fault-channel timers — always also runs
+# under TSan; the suite links only iotdb_cluster and below, which keeps the
+# nested build small enough for single-core builders.
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P "
+                      "cluster_net_tsan_tier.cmake")
+endif()
+
+message(STATUS "cluster_net_tsan tier: configuring ${BUILD_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DIOTDB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "cluster_net_tsan tier: configure failed (${rc})")
+endif()
+
+message(STATUS "cluster_net_tsan tier: building cluster_net_tests")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target cluster_net_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "cluster_net_tsan tier: build failed (${rc})")
+endif()
+
+message(STATUS "cluster_net_tsan tier: running cluster_net_tests under TSan")
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/cluster_net_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR
+          "cluster_net_tsan tier: cluster_net_tests failed under TSan (${rc})")
+endif()

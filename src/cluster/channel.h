@@ -1,0 +1,87 @@
+#ifndef IOTDB_CLUSTER_CHANNEL_H_
+#define IOTDB_CLUSTER_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iotdb {
+namespace cluster {
+
+/// Well-known endpoint ids. Node endpoints are their non-negative node ids;
+/// the coordinator (client-side quorum state machine) and the cluster's hint
+/// drain service get reserved negative ids so a single channel instance can
+/// route every message in the system.
+constexpr int kCoordinatorEndpoint = -1;
+constexpr int kHintServiceEndpoint = -2;
+
+enum class MessageKind : unsigned char {
+  kWriteRequest = 0,  // coordinator -> replica: apply a batch of rows
+  kWriteAck = 1,      // replica -> coordinator: outcome of a kWriteRequest
+  kHintReplay = 2,    // hint service -> replica: replay buffered hint rows
+  kHintAck = 3,       // replica -> hint service: outcome of a kHintReplay
+};
+
+/// A self-contained message. Rows are shared (immutable after send) so that a
+/// fan-out to three replicas — plus any fault-injected duplicates — does not
+/// copy the payload per delivery.
+struct Message {
+  MessageKind kind = MessageKind::kWriteRequest;
+  uint64_t request_id = 0;
+  int src = 0;
+  int dst = 0;
+  bool as_primary = false;
+  uint64_t kvps = 0;
+  uint64_t bytes = 0;
+  std::shared_ptr<const std::vector<std::pair<std::string, std::string>>> rows;
+  Status status;  // meaningful on acks
+};
+
+/// An asynchronous, unidirectional-per-send message boundary between cluster
+/// participants. Delivery is at-most-once, asynchronous (Send never blocks on
+/// the handler), and FIFO per destination endpoint for the in-process
+/// implementation; decorators may weaken ordering and delivery (see
+/// FaultChannel). Handlers run on channel-owned threads and must not call
+/// back into Send for the same destination synchronously holding locks the
+/// sender holds.
+///
+/// The interface is deliberately transport-shaped: a socket implementation
+/// would satisfy it by serializing Message and dialing per-endpoint
+/// connections, with no changes to the replication logic above it.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  using Handler = std::function<void(Message)>;
+
+  /// Registers the receive handler for an endpoint. Re-registering an id
+  /// replaces the handler but keeps queued messages.
+  virtual void RegisterEndpoint(int endpoint, Handler handler) = 0;
+
+  /// Stops delivery to the endpoint and discards its queue. Blocks until the
+  /// endpoint's in-flight handler invocation (if any) returns.
+  virtual void UnregisterEndpoint(int endpoint) = 0;
+
+  /// Enqueues a message for asynchronous delivery. Returns false if the
+  /// channel is shut down or the destination was never registered; a true
+  /// return does not guarantee delivery (the endpoint may unregister, or a
+  /// faulty decorator may drop the message).
+  virtual bool Send(Message msg) = 0;
+
+  /// Stops all delivery threads and discards queued messages. Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+/// A loopback Channel: each endpoint gets a mailbox drained by a dedicated
+/// thread, giving real asynchrony and per-destination FIFO order.
+std::unique_ptr<Channel> NewInProcessChannel();
+
+}  // namespace cluster
+}  // namespace iotdb
+
+#endif  // IOTDB_CLUSTER_CHANNEL_H_

@@ -2,16 +2,22 @@
 #define IOTDB_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "cluster/channel.h"
+#include "cluster/fault_channel.h"
 #include "cluster/node.h"
 #include "cluster/options.h"
 #include "common/clock.h"
@@ -41,9 +47,28 @@ struct FaultRecoveryStats {
                               // another replica returned Corruption
 };
 
+/// Write-availability accounting for the quorum replication path. Every
+/// replicated write resolves to exactly one of quorum-met or unavailable, so
+/// `writes_attempted == writes_quorum_met + writes_unavailable` holds at any
+/// snapshot (all three are incremented together when a write resolves).
+/// Cumulative since cluster start.
+struct AvailabilityStats {
+  uint64_t writes_attempted = 0;    // replicated write batches resolved
+  uint64_t writes_quorum_met = 0;   // resolved with quorum acks (success)
+  uint64_t writes_unavailable = 0;  // resolved Unavailable (quorum lost)
+  /// kvps hinted because a replica missed the straggler window after quorum
+  /// was already met (laggards absorbed by hinted handoff).
+  uint64_t straggler_hinted_kvps = 0;
+  /// Writes failed by the per-request deadline (subset of unavailable).
+  uint64_t deadline_exceeded = 0;
+  /// Acks that arrived for an already-resolved replica slot (duplicate or
+  /// post-finalize delivery); counted and dropped.
+  uint64_t duplicate_acks_ignored = 0;
+};
+
 /// An in-process gateway cluster (the System Under Test of TPCx-IoT): N
 /// nodes each running a KVStore, hash-sharded by a configurable shard key,
-/// with synchronous replication to `replication_factor` distinct nodes.
+/// replicating each write to `replication_factor` distinct nodes.
 ///
 ///   ClusterOptions opts;
 ///   opts.num_nodes = 8;
@@ -51,12 +76,17 @@ struct FaultRecoveryStats {
 ///   Client client(cluster.get());
 ///   client.Put(key, value);
 ///
-/// Fault tolerance: writes to a shard with down replicas succeed in degraded
-/// mode — the missed replica writes are buffered as bounded per-node hints
-/// and replayed when the node rejoins via RestartNode(). A node that went
-/// down through CrashNode() (losing unsynced state), or whose hint buffer
-/// overflowed, is instead caught up by a full shard re-copy from the first
-/// live replica of each of its shards.
+/// Replication is asynchronous over an explicit message Channel: the write
+/// path fans a batch out to every replica mailbox, then blocks only until a
+/// write quorum (default majority) of acks returns. Laggard replicas get a
+/// straggler window after quorum and are then absorbed by hinted handoff;
+/// replicas known down at send time are hinted immediately and excluded
+/// from the quorum denominator (so degraded single-survivor clusters still
+/// accept writes). A write that cannot reach quorum — e.g. under a network
+/// partition injected by the FaultChannel — fails fast with
+/// Status::Unavailable. A node that went down through CrashNode() (losing
+/// unsynced state), or whose hint buffer overflowed, is caught up by a full
+/// shard re-copy from live replicas at RestartNode().
 class Cluster {
  public:
   static Result<std::unique_ptr<Cluster>> Start(const ClusterOptions& options);
@@ -76,8 +106,16 @@ class Cluster {
   /// node stores, so the harness can set rates / inspect fault counters.
   storage::FaultInjectionEnv* fault_env() { return fault_env_.get(); }
 
+  /// Non-null when options().enable_net_fault_injection is set: the
+  /// replication channel's fault decorator (delays, drops, partitions).
+  FaultChannel* net_fault_channel() { return net_fault_channel_; }
+
   /// Effective number of distinct replicas per write.
   int effective_replication() const;
+
+  /// Acks required for a write to report success: options().write_quorum
+  /// clamped to the effective replication, or a majority when 0.
+  int write_quorum() const;
 
   /// Shard id (primary node) for a row key.
   int PrimaryNodeFor(const Slice& row_key) const;
@@ -95,11 +133,21 @@ class Cluster {
   Status CrashNode(int id);
 
   /// Brings a node back: reopens its store through WAL/manifest recovery,
-  /// catches it up (hint replay, or full shard re-copy after a crash or
-  /// hint overflow) and only then marks it live again.
+  /// catches it up (hint replay over the channel, or full shard re-copy
+  /// after a crash or hint overflow) and only then marks it live again.
   Status RestartNode(int id);
 
   FaultRecoveryStats GetFaultRecoveryStats() const;
+
+  AvailabilityStats GetAvailabilityStats() const;
+
+  /// Blocks until the replication plane is quiescent: no in-flight quorum
+  /// writes, and every hint buffer destined to a live node has drained.
+  /// Hints for down nodes don't block (they drain at RestartNode). Returns
+  /// TimedOut if the plane is still busy after `timeout_micros`. The
+  /// default is sized for heavily oversubscribed CI machines, where a
+  /// loaded drain can take tens of seconds; an idle plane returns at once.
+  Status WaitReplicationIdle(uint64_t timeout_micros = 60'000'000);
 
   /// Heals every node whose store quarantined a corrupt file since the last
   /// call: re-copies its shards from healthy replicas, then lifts the node's
@@ -127,8 +175,9 @@ class Cluster {
   double PrimaryLoadImbalance() const;
 
   /// Purges all data from every node (TPCx-IoT system cleanup between
-  /// benchmark iterations). Also discards pending hints; fault-recovery
-  /// counters keep accumulating.
+  /// benchmark iterations). Quiesces replication first so no in-flight
+  /// write or hint replay lands after the wipe. Also discards pending
+  /// hints; fault-recovery counters keep accumulating.
   Status PurgeAll();
 
   /// Flushes every running node's memtable (used by deterministic tests).
@@ -137,16 +186,45 @@ class Cluster {
  private:
   friend class Client;
 
+  using Rows = std::vector<std::pair<std::string, std::string>>;
+
   explicit Cluster(const ClusterOptions& options);
 
   Slice ShardKeyOf(const Slice& row_key) const;
 
+ public:
+  struct PendingWrite;
+
+ private:
+  /// Replicates one shard batch over the channel and blocks until quorum,
+  /// Unavailable, or the per-request deadline. The write path of Client.
+  Status QuorumWrite(const std::vector<int>& replicas,
+                     std::shared_ptr<const Rows> rows, uint64_t kvps,
+                     uint64_t bytes);
+
+  /// Split write path for pipelining: Start registers the write and fans it
+  /// out without blocking; Wait blocks until it resolves. Client::PutBatch
+  /// launches every shard group before awaiting any quorum.
+  std::shared_ptr<PendingWrite> QuorumWriteStart(
+      const std::vector<int>& replicas, std::shared_ptr<const Rows> rows,
+      uint64_t kvps, uint64_t bytes);
+  Status QuorumWriteWait(const std::shared_ptr<PendingWrite>& pw);
+
+  /// True when the coordinator can currently reach the node over the
+  /// channel (always true without net fault injection). Reads use this to
+  /// skip partitioned replicas.
+  bool IsNodeReachable(int node_id) const;
+
   /// Buffers `rows` for a down replica. Returns false — without recording
   /// anything — when the node turned out to be up (the caller lost a race
   /// with RestartNode and must apply the write normally).
-  bool TryRecordHint(int node_id,
-                     const std::vector<std::pair<std::string, std::string>>&
-                         rows);
+  bool TryRecordHint(int node_id, const Rows& rows);
+
+  /// Buffers `rows` for a replica regardless of its liveness: the sweeper
+  /// for laggards (straggler timeout) and permanently-failing-but-up
+  /// replicas. The background drain replays these once the node responds.
+  void ForceRecordHint(int node_id, const Rows& rows);
+  void RecordHintLocked(int node_id, const Rows& rows);
 
   /// Rebuilds a restarted node's shards from the first live replica of each
   /// shard (the node itself excluded). Exactly one source copies each key.
@@ -168,10 +246,102 @@ class Cluster {
   /// froze stale depth into every later snapshot). Caller holds hints_mu_.
   void UpdateHintDepthGaugeLocked();
 
+  // --- quorum write machinery (all guarded by writes_mu_) ---
+
+  enum class ReplicaState : unsigned char { kPending, kAcked, kHinted };
+
+ public:
+  struct PendingWrite {
+    std::vector<int> replicas;
+    std::vector<ReplicaState> states;
+    std::vector<int> attempts;  // send attempts per replica slot
+    std::shared_ptr<const Rows> rows;
+    uint64_t request_id = 0;
+    uint64_t kvps = 0;
+    uint64_t bytes = 0;
+    int acks = 0;
+    int required = 0;      // recomputed as replicas resolve to hinted
+    int primary_slot = -1; // first slot fanned out; carries as_primary
+    bool done = false;     // resolved (either way); clients wait on this
+    bool quorum_met = false;
+    bool straggler_timer_armed = false;
+    Status error;
+    uint64_t start_micros = 0;  // monotonic
+  };
+
+ private:
+
+  enum class TimerKind : unsigned char { kResend, kStraggler, kDeadline };
+
+  struct TimerEvent {
+    uint64_t due_micros;
+    uint64_t seq;
+    TimerKind kind;
+    uint64_t request_id;
+    int replica_slot;  // kResend only
+    bool operator>(const TimerEvent& other) const {
+      if (due_micros != other.due_micros) return due_micros > other.due_micros;
+      return seq > other.seq;
+    }
+  };
+
+  /// Channel delivery handlers.
+  void HandleReplicaMessage(int node_id, Message msg);
+  void HandleCoordinatorMessage(Message msg);
+  void HandleHintServiceMessage(Message msg);
+
+  /// Resolves replica `slot` of `pw` to hinted, recomputing the quorum
+  /// denominator, and finalises the write if that decided it. Caller holds
+  /// writes_mu_.
+  void HintReplicaSlotLocked(uint64_t request_id, PendingWrite* pw, int slot);
+  void FinalizeLocked(uint64_t request_id, PendingWrite* pw, bool met,
+                      Status error);
+  void ArmTimerLocked(TimerKind kind, uint64_t due_micros,
+                      uint64_t request_id, int replica_slot = -1);
+  void SendWriteRequestLocked(uint64_t request_id, PendingWrite* pw,
+                              int slot);
+  uint64_t RetryBackoffMicros(int completed_attempts);
+
+  void TimerLoop();
+  void HintDrainLoop();
+
+  /// Replays one hint batch to a node over the channel and waits for the
+  /// ack (bounded by write_timeout). Used by the drain thread and by
+  /// RestartNode catch-up (the node may still be marked down).
+  Status SendHintBatchAndWait(int node_id, std::shared_ptr<const Rows> rows);
+
+  void ShutdownReplication();
+
   ClusterOptions options_;
   std::unique_ptr<storage::Env> owned_env_;
   std::unique_ptr<storage::FaultInjectionEnv> fault_env_;  // may be null
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  /// The replication message plane. Owned; `net_fault_channel_` aliases it
+  /// when net fault injection is on.
+  std::unique_ptr<Channel> channel_;
+  FaultChannel* net_fault_channel_ = nullptr;
+
+  mutable std::mutex writes_mu_;
+  std::condition_variable writes_cv_;  // write resolved / all writes idle
+  std::condition_variable timer_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingWrite>> pending_writes_;
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>,
+                      std::greater<TimerEvent>>
+      timers_;
+  uint64_t next_request_id_ = 1;
+  uint64_t next_timer_seq_ = 0;
+  AvailabilityStats availability_;
+  bool replication_shutdown_ = false;
+  std::atomic<uint64_t> jitter_state_{0x9E3779B97F4A7C15ull};
+  std::thread timer_thread_;
+
+  /// Hint replay ack rendezvous (hint service endpoint).
+  std::mutex hint_ack_mu_;
+  std::condition_variable hint_ack_cv_;
+  std::unordered_map<uint64_t, Status> hint_acks_;  // id -> outcome
+  uint64_t next_hint_id_ = 1;
+  bool hint_shutdown_ = false;
 
   struct HintBuffer {
     std::vector<std::pair<std::string, std::string>> rows;
@@ -179,9 +349,14 @@ class Cluster {
   };
 
   /// Guards hints_ and fault_stats_, and serialises the hint-or-apply
-  /// decision against the down->up flip in RestartNode.
+  /// decision against the down->up flip in RestartNode. Lock order:
+  /// writes_mu_ before hints_mu_; never the reverse.
   mutable std::mutex hints_mu_;
+  std::condition_variable hints_cv_;  // drain tick / in-flight returned
   std::vector<HintBuffer> hints_;  // one per node
+  int hints_in_flight_ = 0;  // batches swapped out for channel replay
+  bool drain_shutdown_ = false;
+  std::thread drain_thread_;
   /// cluster.node<id>.hint_queue_depth, parallel to hints_. The gauges are
   /// process-global; the destructor zeroes them so a later cluster (or the
   /// timeline) never sees ghost depth from this one.
@@ -195,10 +370,11 @@ class Cluster {
 /// Routing client. A single instance may be shared by many threads (nodes
 /// are thread-safe and the retry jitter state is atomic).
 ///
-/// All operations retry transient failures with bounded exponential backoff
-/// + jitter under a per-op deadline (ClusterOptions::retry_policy). Writes
-/// to shards with down replicas succeed in degraded mode, recording hints
-/// for the missed replicas.
+/// Writes replicate asynchronously over the cluster channel and return once
+/// a write quorum of replicas acked (Status::Unavailable when quorum cannot
+/// be reached before the deadline). Reads retry transient failures with
+/// bounded exponential backoff + jitter under a per-op deadline
+/// (ClusterOptions::retry_policy) and fail over across replicas.
 class Client {
  public:
   explicit Client(Cluster* cluster) : cluster_(cluster) {}
@@ -209,17 +385,20 @@ class Client {
     return *this;
   }
 
-  /// Writes one kvp to all replicas, synchronously. Succeeds when at least
-  /// one replica applied it; missed (down) replicas get hints.
+  /// Writes one kvp to all replicas; returns once a quorum acked. Replicas
+  /// missed because they were down (or lagged past the straggler window)
+  /// get hints.
   Status Put(const Slice& key, const Slice& value);
 
-  /// Writes a group of kvps: groups by primary node, then applies each
+  /// Writes a group of kvps: groups by primary node, then replicates each
   /// group's batch to that shard's replica set. Mirrors the HBase client
   /// write buffer flush path.
   Status PutBatch(
       const std::vector<std::pair<std::string, std::string>>& kvps);
 
-  /// Reads from the primary, failing over to replicas if it is down.
+  /// Reads from the primary, failing over to replicas when it is down or
+  /// unreachable. A NotFound is only reported once enough replicas confirm
+  /// absence to rule out a quorum-acked write they missed.
   Result<std::string> Get(const Slice& key);
 
   /// Point-reads many keys; out[i] is the value for keys[i] or empty when
@@ -236,18 +415,16 @@ class Client {
               std::vector<std::pair<std::string, std::string>>* out);
 
  private:
-  /// Applies one shard's batch to its replica set in degraded mode: down
-  /// replicas get hints, live ones are written with retries; OK when >= 1
-  /// replica applied the batch.
+  /// Replicates one shard's batch via the cluster's quorum write path.
   Status WriteShardBatch(
-      const std::vector<int>& replicas, const storage::WriteBatch& batch,
-      const std::vector<std::pair<std::string, std::string>>& rows,
-      uint64_t kvps, uint64_t bytes);
+      const std::vector<int>& replicas,
+      std::vector<std::pair<std::string, std::string>> rows, uint64_t kvps,
+      uint64_t bytes);
 
   /// Runs `op` under the retry policy. Retries transient failures (IOError/
   /// Busy/TimedOut) with exponential backoff + jitter until max_attempts or
-  /// the op deadline; gives up immediately when `node` goes down (the
-  /// caller fails over or records a hint instead).
+  /// the op deadline (measured on the monotonic clock); gives up immediately
+  /// when `node` goes down (the caller fails over instead).
   Status RetryOp(const std::function<Status()>& op, Node* node);
 
   uint64_t NextRand();

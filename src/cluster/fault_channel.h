@@ -1,0 +1,125 @@
+#ifndef IOTDB_CLUSTER_FAULT_CHANNEL_H_
+#define IOTDB_CLUSTER_FAULT_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/channel.h"
+#include "common/random.h"
+
+namespace iotdb {
+namespace cluster {
+
+/// Counts of fault decisions taken at Send time. `sent` counts every Send
+/// call; a message is counted once per terminal decision (a blocked message
+/// is not also counted as dropped).
+struct NetFaultCounters {
+  uint64_t sent = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t delayed = 0;
+  uint64_t partition_blocked = 0;
+};
+
+/// A Channel decorator that injects network faults with a seeded RNG:
+/// one-way delivery delays, probabilistic drop/duplicate/reorder, and
+/// symmetric or asymmetric partitions. All decisions happen at Send time, so
+/// a single-threaded sender with a fixed seed sees a deterministic fault
+/// sequence regardless of receiver scheduling.
+///
+/// Delays and reorders are served by one timer thread with a deadline heap;
+/// a reorder is modeled as an extra random delay within the reorder window,
+/// which lets later sends overtake the deferred message.
+class FaultChannel : public Channel {
+ public:
+  FaultChannel(std::unique_ptr<Channel> base, uint64_t seed);
+  ~FaultChannel() override;
+
+  // Channel interface: registration passes straight through to the base
+  // channel; Send applies the configured faults first.
+  void RegisterEndpoint(int endpoint, Handler handler) override;
+  void UnregisterEndpoint(int endpoint) override;
+  bool Send(Message msg) override;
+  void Shutdown() override;
+
+  /// One-way delivery delay applied to every message (uniform in
+  /// [min, max] microseconds). Zero/zero disables.
+  void SetDefaultDelay(uint64_t min_micros, uint64_t max_micros);
+
+  /// One-way delay for messages destined to `endpoint`; overrides the
+  /// default. Models one slow (straggler) replica.
+  void SetEndpointDelay(int endpoint, uint64_t min_micros,
+                        uint64_t max_micros);
+
+  void SetDropProbability(double p);
+  void SetDuplicateProbability(double p);
+  void SetReorderProbability(double p, uint64_t window_micros);
+
+  /// Symmetric partition: no messages to or from `endpoint` are delivered.
+  void Isolate(int endpoint);
+
+  /// Asymmetric partition: messages from `src` to `dst` are blocked; the
+  /// reverse direction still flows.
+  void PartitionOneWay(int src, int dst);
+
+  void Heal(int endpoint);
+  void HealAll();
+
+  /// Whether a message from `src` to `dst` would currently be delivered
+  /// (ignoring probabilistic drop). Senders use this to skip known-dark
+  /// destinations.
+  bool Reachable(int src, int dst) const;
+
+  NetFaultCounters GetCounters() const;
+
+ private:
+  struct DelayedMessage {
+    uint64_t due_micros;
+    uint64_t seq;  // tiebreak so equal deadlines keep send order
+    Message msg;
+    bool operator>(const DelayedMessage& other) const {
+      if (due_micros != other.due_micros) return due_micros > other.due_micros;
+      return seq > other.seq;
+    }
+  };
+
+  bool ReachableLocked(int src, int dst) const;
+  void TimerLoop();
+
+  std::unique_ptr<Channel> base_;
+
+  mutable std::mutex mu_;
+  Random rng_;
+  uint64_t delay_min_micros_ = 0;
+  uint64_t delay_max_micros_ = 0;
+  std::unordered_map<int, std::pair<uint64_t, uint64_t>> endpoint_delay_;
+  double drop_p_ = 0.0;
+  double duplicate_p_ = 0.0;
+  double reorder_p_ = 0.0;
+  uint64_t reorder_window_micros_ = 0;
+  std::set<int> isolated_;
+  std::set<std::pair<int, int>> blocked_pairs_;
+  NetFaultCounters counters_;
+
+  std::condition_variable timer_cv_;
+  std::priority_queue<DelayedMessage, std::vector<DelayedMessage>,
+                      std::greater<DelayedMessage>>
+      delayed_;
+  uint64_t next_seq_ = 0;
+  bool stop_ = false;
+  std::thread timer_thread_;
+};
+
+}  // namespace cluster
+}  // namespace iotdb
+
+#endif  // IOTDB_CLUSTER_FAULT_CHANNEL_H_

@@ -124,6 +124,15 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
   return Status::OK();
 }
 
+Status Node::ApplyHintBatch(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (store_ == nullptr) return NotRunningError();
+  storage::WriteBatch batch;
+  for (const auto& [key, value] : rows) batch.Put(key, value);
+  return store_->Write(storage::WriteOptions(), &batch);
+}
+
 Status Node::UnderRepairError() const {
   return Status::Corruption("node " + std::to_string(id_) +
                             " is under corruption repair; read from another "

@@ -108,6 +108,13 @@ class Node {
   Status ApplyBatch(storage::WriteBatch* batch, bool as_primary,
                     uint64_t kvps, uint64_t bytes);
 
+  /// Applies replayed hint rows. Unlike ApplyBatch this succeeds while the
+  /// node is still marked down (rejoin catch-up runs before the node is
+  /// flipped live) and bumps no throughput counters — the rows were already
+  /// counted when the original write was accepted.
+  Status ApplyHintBatch(
+      const std::vector<std::pair<std::string, std::string>>& rows);
+
   Result<std::string> Get(const Slice& key);
 
   Status Scan(const Slice& start, const Slice& end_exclusive, size_t limit,

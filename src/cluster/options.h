@@ -74,6 +74,33 @@ struct ClusterOptions {
   /// crashes. Off by default: production runs pay no decoration cost.
   bool enable_fault_injection = false;
   uint64_t fault_seed = 0;
+
+  /// Replica acks required before a write is reported durable. 0 = majority
+  /// of the effective replica count (eff/2 + 1, i.e. 2-of-3). Replicas that
+  /// are known down at send time are covered by hinted handoff and do not
+  /// count toward the denominator, so single-node degraded clusters still
+  /// accept writes; replicas that are up but unreachable (partitioned) are
+  /// quorum-governed and can make writes fail Unavailable.
+  int write_quorum = 0;
+
+  /// Overall deadline for one replicated write (fan-out to quorum decision)
+  /// when retry_policy.op_deadline_micros is 0. Measured on the monotonic
+  /// clock. Expiry fails the write with Status::Unavailable.
+  uint64_t write_timeout_micros = 2'000'000;
+
+  /// Once quorum is met, laggard replicas get this long to ack before their
+  /// share of the write is converted into a hint (straggler tolerance).
+  uint64_t straggler_timeout_micros = 150'000;
+
+  /// Period of the background hint-drain thread that replays buffered hints
+  /// to live nodes over the channel.
+  uint64_t hint_drain_interval_micros = 20'000;
+
+  /// Wraps the replication channel in a FaultChannel (seeded with
+  /// net_fault_seed) so the harness can inject delays, drops, duplicates,
+  /// reorders, and partitions. Off by default.
+  bool enable_net_fault_injection = false;
+  uint64_t net_fault_seed = 0;
 };
 
 }  // namespace cluster

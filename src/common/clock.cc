@@ -33,4 +33,10 @@ Clock* Clock::Real() {
   return clock;
 }
 
+uint64_t Clock::MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace iotdb

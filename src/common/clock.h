@@ -24,6 +24,14 @@ class Clock {
 
   /// The process-wide real clock.
   static Clock* Real();
+
+  /// Monotonic (std::chrono::steady_clock) microseconds. Deadline and
+  /// timeout arithmetic must use this — never a wall clock, which can jump
+  /// under NTP adjustment and turn a 10 ms budget into minutes (or a
+  /// negative one). Clock::Real()->NowMicros() returns the same timebase;
+  /// this static exists for code that must be monotonic even when handed a
+  /// virtual clock (cv waits cannot run on virtual time).
+  static uint64_t MonotonicMicros();
 };
 
 /// A manually-advanced clock for unit tests.

@@ -36,6 +36,9 @@ std::string Status::ToString() const {
     case Code::kFailedCheck:
       type = "Failed check";
       break;
+    case Code::kUnavailable:
+      type = "Unavailable";
+      break;
   }
   std::string result(type);
   if (!state_->msg.empty()) {

@@ -24,6 +24,7 @@ class Status {
     kAborted = 7,
     kTimedOut = 8,
     kFailedCheck = 9,  // a TPCx-IoT prerequisite/data check failed
+    kUnavailable = 10,  // quorum lost: too few replicas reachable/alive
   };
 
   Status() : state_(nullptr) {}
@@ -68,6 +69,9 @@ class Status {
   static Status FailedCheck(std::string msg) {
     return Status(Code::kFailedCheck, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -79,6 +83,7 @@ class Status {
   bool IsAborted() const { return code() == Code::kAborted; }
   bool IsTimedOut() const { return code() == Code::kTimedOut; }
   bool IsFailedCheck() const { return code() == Code::kFailedCheck; }
+  bool IsUnavailable() const { return code() == Code::kUnavailable; }
 
   Code code() const { return state_ ? state_->code : Code::kOk; }
 

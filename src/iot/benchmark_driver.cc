@@ -170,6 +170,13 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
                              config_.fault_corrupt_node <
                                  cluster_->num_nodes() &&
                              cluster_->fault_env() != nullptr;
+  cluster::FaultChannel* net = cluster_->net_fault_channel();
+  const bool net_armed =
+      with_faults && config_.HasNetFaultSchedule() && net != nullptr;
+  const cluster::AvailabilityStats avail_before =
+      cluster_->GetAvailabilityStats();
+  cluster::NetFaultCounters net_before;
+  if (net != nullptr) net_before = net->GetCounters();
 
   // Per-node corrupt-WAL-bytes-dropped-in-recovery, for the execution delta
   // (safe to read here and after the joins: no lifecycle transitions run).
@@ -200,6 +207,27 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
   std::atomic<bool> drivers_done{false};
   std::thread fault_monitor;
   std::thread corruption_monitor;
+  std::thread net_monitor;
+
+  if (net_armed) {
+    // Whole-run traffic shaping starts with the execution; the scheduled
+    // partition is handled by the monitor thread below.
+    if (config_.fault_net_delay_node >= 0) {
+      const uint64_t delay_micros = config_.fault_net_delay_ms * 1000;
+      net->SetEndpointDelay(config_.fault_net_delay_node, delay_micros,
+                            delay_micros);
+    }
+    if (config_.fault_net_drop_pct > 0) {
+      net->SetDropProbability(config_.fault_net_drop_pct);
+    }
+    if (config_.fault_net_dup_pct > 0) {
+      net->SetDuplicateProbability(config_.fault_net_dup_pct);
+    }
+    if (config_.fault_net_reorder_pct > 0) {
+      net->SetReorderProbability(config_.fault_net_reorder_pct,
+                                 /*window_micros=*/5000);
+    }
+  }
 
   const bool observe = obs::Enabled();
   obs::MetricsSnapshot obs_before;
@@ -298,10 +326,60 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
     });
   }
 
+  if (net_armed && config_.fault_net_partition_node >= 0) {
+    net_monitor = std::thread([this, net, &drivers_done]() {
+      const int victim = config_.fault_net_partition_node;
+      const uint64_t base = cluster_->GetAggregateStats().primary_writes;
+      bool partitioned = false;
+      uint64_t partitioned_at_acked = 0;
+      while (!drivers_done.load(std::memory_order_acquire)) {
+        uint64_t acked = cluster_->GetAggregateStats().primary_writes - base;
+        if (!partitioned && acked >= config_.fault_net_partition_at_ops) {
+          IOTDB_LOG(Info) << "fault schedule: partitioning node " << victim
+                          << " at " << acked << " acked kvps";
+          net->Isolate(victim);
+          partitioned = true;
+          partitioned_at_acked = acked;
+        }
+        if (partitioned && config_.fault_net_heal_after_ops > 0 &&
+            acked >=
+                partitioned_at_acked + config_.fault_net_heal_after_ops) {
+          IOTDB_LOG(Info) << "fault schedule: healing partition of node "
+                          << victim << " at " << acked << " acked kvps";
+          net->Heal(victim);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Heal-at-end happens below for every net schedule; nothing to do.
+    });
+  }
+
   for (auto& thread : threads) thread.join();
   drivers_done.store(true, std::memory_order_release);
   if (fault_monitor.joinable()) fault_monitor.join();
   if (corruption_monitor.joinable()) corruption_monitor.join();
+  if (net_monitor.joinable()) net_monitor.join();
+  if (net_armed) {
+    // Stop shaping and heal any surviving partition before the quiesce
+    // below drains what the faults left behind.
+    if (config_.fault_net_delay_node >= 0) {
+      net->SetEndpointDelay(config_.fault_net_delay_node, 0, 0);
+    }
+    net->SetDropProbability(0);
+    net->SetDuplicateProbability(0);
+    net->SetReorderProbability(0, 0);
+    net->HealAll();
+  }
+  // Quiesce the async replication plane inside the measured window: writes
+  // return at quorum, so the tail of the run can still have laggard replica
+  // applies and hinted rows in flight. Convergence cost is part of the run,
+  // and the data check expects every acknowledged row to be replicated.
+  Status drained = cluster_->WaitReplicationIdle();
+  if (!drained.ok()) {
+    IOTDB_LOG(Warn) << "end of execution: replication did not quiesce: "
+                    << drained.ToString();
+  }
   if (corrupt_armed) {
     // Quarantines surfaced after the monitor's repair pass (e.g. from a
     // late compaction read) must not leak past the execution: the data
@@ -372,6 +450,34 @@ WorkloadExecution BenchmarkDriver::ExecuteWorkloadInternal(bool with_faults) {
                                        : wal_dropped_after[i];
   }
 
+  const cluster::AvailabilityStats avail_after =
+      cluster_->GetAvailabilityStats();
+  execution.availability.writes_attempted =
+      avail_after.writes_attempted - avail_before.writes_attempted;
+  execution.availability.writes_quorum_met =
+      avail_after.writes_quorum_met - avail_before.writes_quorum_met;
+  execution.availability.writes_unavailable =
+      avail_after.writes_unavailable - avail_before.writes_unavailable;
+  execution.availability.straggler_hinted_kvps =
+      avail_after.straggler_hinted_kvps - avail_before.straggler_hinted_kvps;
+  execution.availability.deadline_exceeded =
+      avail_after.deadline_exceeded - avail_before.deadline_exceeded;
+  execution.availability.duplicate_acks_ignored =
+      avail_after.duplicate_acks_ignored -
+      avail_before.duplicate_acks_ignored;
+  if (net != nullptr) {
+    cluster::NetFaultCounters net_after = net->GetCounters();
+    execution.net_faults.sent = net_after.sent - net_before.sent;
+    execution.net_faults.dropped = net_after.dropped - net_before.dropped;
+    execution.net_faults.duplicated =
+        net_after.duplicated - net_before.duplicated;
+    execution.net_faults.reordered =
+        net_after.reordered - net_before.reordered;
+    execution.net_faults.delayed = net_after.delayed - net_before.delayed;
+    execution.net_faults.partition_blocked =
+        net_after.partition_blocked - net_before.partition_blocked;
+  }
+
   execution.drivers = std::move(results);
   for (const auto& driver : execution.drivers) {
     execution.metrics.kvps_ingested += driver.kvps_ingested;
@@ -428,6 +534,23 @@ BenchmarkResult BenchmarkDriver::Run() {
     result.status = Status::InvalidArgument(
         "fault.corrupt_sstable requires a cluster with fault injection "
         "enabled");
+    result.invalid_reason = "invalid fault schedule";
+    return result;
+  }
+  if (config_.HasNetFaultSchedule() &&
+      cluster_->net_fault_channel() == nullptr) {
+    result.status = Status::InvalidArgument(
+        "fault.net_* schedules require a cluster with net fault injection "
+        "enabled");
+    result.invalid_reason = "invalid fault schedule";
+    return result;
+  }
+  if (config_.fault_net_partition_node >= cluster_->num_nodes() ||
+      config_.fault_net_delay_node >= cluster_->num_nodes()) {
+    result.status = Status::InvalidArgument(
+        "fault.net_partition_node/fault.net_delay_node out of range: the "
+        "SUT has " +
+        std::to_string(cluster_->num_nodes()) + " nodes");
     result.invalid_reason = "invalid fault schedule";
     return result;
   }

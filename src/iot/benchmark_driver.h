@@ -89,6 +89,34 @@ struct BenchmarkConfig {
   uint64_t fault_corrupt_at_ops = 0;
   int fault_corrupt_bits = 8;
   std::string fault_corrupt_target = "sstable";
+
+  /// Network-fault schedule (`fault.net_*` in kit properties), applied to
+  /// measured executions only. Requires the cluster to run with
+  /// ClusterOptions::enable_net_fault_injection so replication flows
+  /// through a FaultChannel. When fault_net_partition_node >= 0 the driver
+  /// isolates that node (both directions) once fault_net_partition_at_ops
+  /// primary kvps are acknowledged and heals it fault_net_heal_after_ops
+  /// acknowledged kvps later (0 = at the end of the execution); the
+  /// partition is always healed — and hinted writes drained — before the
+  /// execution ends so the data check sees a converged cluster. The
+  /// remaining knobs shape the whole run: a fixed per-message delivery
+  /// delay into fault_net_delay_node, and drop / duplicate / reorder
+  /// probabilities (fractions in [0, 1]) applied to every message.
+  int fault_net_partition_node = -1;
+  uint64_t fault_net_partition_at_ops = 0;
+  uint64_t fault_net_heal_after_ops = 0;
+  int fault_net_delay_node = -1;
+  uint64_t fault_net_delay_ms = 0;
+  double fault_net_drop_pct = 0;
+  double fault_net_dup_pct = 0;
+  double fault_net_reorder_pct = 0;
+
+  /// True when any part of the network-fault schedule is configured.
+  bool HasNetFaultSchedule() const {
+    return fault_net_partition_node >= 0 || fault_net_delay_node >= 0 ||
+           fault_net_drop_pct > 0 || fault_net_dup_pct > 0 ||
+           fault_net_reorder_pct > 0;
+  }
 };
 
 /// Corruption injected / detected / repaired during one workload execution
@@ -117,6 +145,13 @@ struct WorkloadExecution {
   cluster::FaultRecoveryStats faults;
   /// Corruption injected/detected/repaired during this execution.
   IntegrityStats integrity;
+  /// Quorum-write availability over exactly this execution's window
+  /// (attempted / quorum-met / unavailable, straggler hints, deadline
+  /// expiries). Feeds the FDR "Availability" section.
+  cluster::AvailabilityStats availability;
+  /// Messages injected-faulted by the network FaultChannel during this
+  /// execution. All zero when net fault injection is off.
+  cluster::NetFaultCounters net_faults;
   /// Registry delta over exactly this execution's window — the warm-up
   /// execution gets its own delta, so measured numbers are not polluted by
   /// warm-up traffic. Empty when the obs registry is disabled.

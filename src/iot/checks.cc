@@ -57,6 +57,13 @@ CheckResult ReplicationCheck(cluster::Cluster* cluster, int probes) {
       result.detail = "probe write failed: " + s.ToString();
       return result;
     }
+    // The quorum coordinator acks before the slowest replica applies;
+    // quiesce so the direct per-node reads below see all three copies.
+    s = cluster->WaitReplicationIdle();
+    if (!s.ok()) {
+      result.detail = "replication did not quiesce: " + s.ToString();
+      return result;
+    }
     std::vector<int> replicas = cluster->ReplicaNodesFor(key);
     int copies = 0;
     for (int node_id : replicas) {

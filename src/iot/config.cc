@@ -13,7 +13,10 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
       "repeatability_tolerance", "timeline.cadence_ms",
       "fault.kill_node",      "fault.at_ops",       "fault.restart_after_ops",
       "fault.corrupt_sstable", "fault.corrupt_at_ops", "fault.corrupt_bits",
-      "fault.corrupt_target"};
+      "fault.corrupt_target",  "fault.net_partition_node",
+      "fault.net_partition_at_ops", "fault.net_heal_after_ops",
+      "fault.net_delay_node", "fault.net_delay_ms", "fault.net_drop_pct",
+      "fault.net_dup_pct",    "fault.net_reorder_pct"};
   for (const auto& [key, value] : props.map()) {
     if (kKnownKeys.count(key) == 0) {
       return Status::InvalidArgument("unknown benchmark property: " + key);
@@ -98,6 +101,59 @@ Result<BenchmarkConfig> LoadBenchmarkConfig(const Properties& props) {
         "fault.corrupt_target must be sstable or vlog");
   }
 
+  IOTDB_ASSIGN_OR_RETURN(int64_t net_partition_node,
+                         props.GetInt("fault.net_partition_node", -1));
+  IOTDB_ASSIGN_OR_RETURN(int64_t net_partition_at_ops,
+                         props.GetInt("fault.net_partition_at_ops", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t net_heal_after_ops,
+                         props.GetInt("fault.net_heal_after_ops", 0));
+  IOTDB_ASSIGN_OR_RETURN(int64_t net_delay_node,
+                         props.GetInt("fault.net_delay_node", -1));
+  IOTDB_ASSIGN_OR_RETURN(int64_t net_delay_ms,
+                         props.GetInt("fault.net_delay_ms", 0));
+  IOTDB_ASSIGN_OR_RETURN(config.fault_net_drop_pct,
+                         props.GetDouble("fault.net_drop_pct", 0));
+  IOTDB_ASSIGN_OR_RETURN(config.fault_net_dup_pct,
+                         props.GetDouble("fault.net_dup_pct", 0));
+  IOTDB_ASSIGN_OR_RETURN(config.fault_net_reorder_pct,
+                         props.GetDouble("fault.net_reorder_pct", 0));
+  if (net_partition_at_ops < 0 || net_heal_after_ops < 0) {
+    return Status::InvalidArgument(
+        "fault.net_partition_at_ops and fault.net_heal_after_ops must be "
+        ">= 0");
+  }
+  if (net_partition_node < 0 &&
+      (net_partition_at_ops > 0 || net_heal_after_ops > 0)) {
+    return Status::InvalidArgument(
+        "fault.net_partition_at_ops/fault.net_heal_after_ops require "
+        "fault.net_partition_node");
+  }
+  if (net_delay_ms < 0) {
+    return Status::InvalidArgument("fault.net_delay_ms must be >= 0");
+  }
+  if (net_delay_node < 0 && net_delay_ms > 0) {
+    return Status::InvalidArgument(
+        "fault.net_delay_ms requires fault.net_delay_node");
+  }
+  if (net_delay_node >= 0 && net_delay_ms < 1) {
+    return Status::InvalidArgument(
+        "fault.net_delay_node requires fault.net_delay_ms >= 1");
+  }
+  for (double p : {config.fault_net_drop_pct, config.fault_net_dup_pct,
+                   config.fault_net_reorder_pct}) {
+    if (p < 0 || p > 1) {
+      return Status::InvalidArgument(
+          "fault.net_drop_pct/dup_pct/reorder_pct must be in [0, 1]");
+    }
+  }
+  config.fault_net_partition_node = static_cast<int>(net_partition_node);
+  config.fault_net_partition_at_ops =
+      static_cast<uint64_t>(net_partition_at_ops);
+  config.fault_net_heal_after_ops =
+      static_cast<uint64_t>(net_heal_after_ops);
+  config.fault_net_delay_node = static_cast<int>(net_delay_node);
+  config.fault_net_delay_ms = static_cast<uint64_t>(net_delay_ms);
+
   if (instances < 1) {
     return Status::InvalidArgument("driver_instances must be >= 1");
   }
@@ -145,6 +201,31 @@ Properties BenchmarkConfigToProperties(const BenchmarkConfig& config) {
     props.Set("fault.corrupt_bits",
               std::to_string(config.fault_corrupt_bits));
     props.Set("fault.corrupt_target", config.fault_corrupt_target);
+  }
+  if (config.fault_net_partition_node >= 0) {
+    props.Set("fault.net_partition_node",
+              std::to_string(config.fault_net_partition_node));
+    props.Set("fault.net_partition_at_ops",
+              std::to_string(config.fault_net_partition_at_ops));
+    props.Set("fault.net_heal_after_ops",
+              std::to_string(config.fault_net_heal_after_ops));
+  }
+  if (config.fault_net_delay_node >= 0) {
+    props.Set("fault.net_delay_node",
+              std::to_string(config.fault_net_delay_node));
+    props.Set("fault.net_delay_ms",
+              std::to_string(config.fault_net_delay_ms));
+  }
+  if (config.fault_net_drop_pct > 0) {
+    props.Set("fault.net_drop_pct",
+              std::to_string(config.fault_net_drop_pct));
+  }
+  if (config.fault_net_dup_pct > 0) {
+    props.Set("fault.net_dup_pct", std::to_string(config.fault_net_dup_pct));
+  }
+  if (config.fault_net_reorder_pct > 0) {
+    props.Set("fault.net_reorder_pct",
+              std::to_string(config.fault_net_reorder_pct));
   }
   return props;
 }

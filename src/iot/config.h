@@ -30,6 +30,15 @@ namespace iot {
 ///   fault.corrupt_bits    (8)      number of random bits flipped
 ///   fault.corrupt_target  (sstable) victim file class: sstable or vlog
 ///                                  (vlog needs value-separated stores)
+///   fault.net_partition_node (-1)  node partitioned off mid-run
+///   fault.net_partition_at_ops (0) acked kvps before the partition
+///   fault.net_heal_after_ops (0)   acked kvps from partition to heal
+///                                  (0 = heal at end of execution)
+///   fault.net_delay_node  (-1)     node whose messages are delayed
+///   fault.net_delay_ms    (0)      one-way delay for that node
+///   fault.net_drop_pct    (0)      message drop probability [0,1]
+///   fault.net_dup_pct     (0)      message duplicate probability [0,1]
+///   fault.net_reorder_pct (0)      message reorder probability [0,1]
 ///
 /// Unknown keys are rejected so typos in sponsor configs surface instead
 /// of silently using defaults (the FDR must disclose every tunable).

@@ -17,6 +17,7 @@ struct DriverInstruments {
   obs::LatencyHistogram* insert_batch_micros;
   obs::LatencyHistogram* query_micros;
   obs::Counter* ingest_kvps;
+  obs::Counter* unavailable_retries;
   obs::Counter* query_count;
   obs::Counter* query_rows;
 };
@@ -28,6 +29,7 @@ DriverInstruments& Instruments() {
         registry.GetHistogram("driver.insert_batch_micros"),
         registry.GetHistogram("driver.query_micros"),
         registry.GetCounter("driver.ingest.kvps"),
+        registry.GetCounter("driver.ingest.unavailable_retries"),
         registry.GetCounter("driver.query.count"),
         registry.GetCounter("driver.query.rows")};
   }();
@@ -74,6 +76,18 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
 
     uint64_t t0 = clock->NowMicros();
     Status s = db_->InsertBatch(batch);
+    // A quorum-lost or deadline-expired write is a transient availability
+    // failure (e.g. a network partition mid-run), not data loss: the batch
+    // was never acknowledged, so resubmitting it is safe. Retry a bounded
+    // number of times with backoff before giving up on the whole run.
+    for (int retry = 0;
+         !s.ok() && (s.IsUnavailable() || s.IsTimedOut()) && retry < 5;
+         ++retry) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
+      if (obs::Enabled()) Instruments().unavailable_retries->Increment();
+      clock->SleepMicros(1000u << retry);
+      s = db_->InsertBatch(batch);
+    }
     uint64_t insert_elapsed = clock->NowMicros() - t0;
     if (!s.ok()) {
       result.status = s;

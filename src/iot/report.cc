@@ -196,6 +196,54 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
                        integrity.node_wal_dropped_bytes[n]));
       }
     }
+    const cluster::AvailabilityStats& avail = iter.measured.availability;
+    if (avail.writes_attempted > 0) {
+      AppendLine(&out, "  --- Availability ---");
+      AppendLine(&out,
+                 "  Writes: %llu attempted, %llu quorum-met (%.2f%%), "
+                 "%llu unavailable",
+                 static_cast<unsigned long long>(avail.writes_attempted),
+                 static_cast<unsigned long long>(avail.writes_quorum_met),
+                 100.0 * static_cast<double>(avail.writes_quorum_met) /
+                     static_cast<double>(avail.writes_attempted),
+                 static_cast<unsigned long long>(avail.writes_unavailable));
+      if (avail.straggler_hinted_kvps + avail.deadline_exceeded +
+              avail.duplicate_acks_ignored >
+          0) {
+        AppendLine(&out,
+                   "  Degradation: %llu straggler-hinted kvps, %llu write "
+                   "deadlines exceeded, %llu duplicate acks ignored",
+                   static_cast<unsigned long long>(
+                       avail.straggler_hinted_kvps),
+                   static_cast<unsigned long long>(avail.deadline_exceeded),
+                   static_cast<unsigned long long>(
+                       avail.duplicate_acks_ignored));
+      }
+      const cluster::NetFaultCounters& net = iter.measured.net_faults;
+      if (net.dropped + net.duplicated + net.reordered + net.delayed +
+              net.partition_blocked >
+          0) {
+        AppendLine(&out,
+                   "  Net faults: %llu messages sent; %llu dropped, "
+                   "%llu duplicated, %llu reordered, %llu delayed, "
+                   "%llu partition-blocked",
+                   static_cast<unsigned long long>(net.sent),
+                   static_cast<unsigned long long>(net.dropped),
+                   static_cast<unsigned long long>(net.duplicated),
+                   static_cast<unsigned long long>(net.reordered),
+                   static_cast<unsigned long long>(net.delayed),
+                   static_cast<unsigned long long>(net.partition_blocked));
+      }
+      // Every attempted quorum write must resolve to exactly one outcome;
+      // a mismatch means the coordinator lost track of a write.
+      const bool accounted =
+          avail.writes_attempted ==
+          avail.writes_quorum_met + avail.writes_unavailable;
+      AppendLine(&out,
+                 "  [%s] write accounting: attempted == quorum-met + "
+                 "unavailable",
+                 accounted ? "PASS" : "FAIL");
+    }
     Status window = iter.measured.metrics.Validate();
     AppendLine(&out, "  [%s] measurement window: %s",
                window.ok() ? "PASS" : "FAIL",

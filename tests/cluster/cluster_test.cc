@@ -51,6 +51,8 @@ TEST(ClusterTest, PutReplicatesToAllReplicas) {
   auto cluster = Cluster::Start(SmallClusterOptions(5)).MoveValueUnsafe();
   Client client(cluster.get());
   ASSERT_TRUE(client.Put("mykey", "myvalue").ok());
+  // Put returns at quorum; wait for the laggard replica's async apply.
+  ASSERT_TRUE(cluster->WaitReplicationIdle().ok());
 
   int copies = 0;
   for (int n = 0; n < cluster->num_nodes(); ++n) {
@@ -114,6 +116,7 @@ TEST(ClusterTest, BatchedPutGroupsByPrimary) {
     kvps.emplace_back("batch" + std::to_string(i), "v" + std::to_string(i));
   }
   ASSERT_TRUE(client.PutBatch(kvps).ok());
+  ASSERT_TRUE(cluster->WaitReplicationIdle().ok());
   for (int i = 0; i < 500; i += 97) {
     auto r = client.Get("batch" + std::to_string(i));
     ASSERT_TRUE(r.ok());
@@ -222,6 +225,7 @@ TEST(ClusterTest, ConcurrentClientsAreSafe) {
     });
   }
   for (auto& thread : threads) thread.join();
+  ASSERT_TRUE(cluster->WaitReplicationIdle().ok());
   Client client(cluster.get());
   EXPECT_EQ(client.Get("t0k0").ValueOrDie(), "v");
   EXPECT_EQ(client.Get("t3k199").ValueOrDie(), "v");

@@ -1,0 +1,246 @@
+// The replication message plane in isolation: in-process mailbox delivery
+// order, and the seeded FaultChannel decorator (drop / duplicate / delay /
+// reorder / partition semantics).
+#include "cluster/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "cluster/fault_channel.h"
+
+namespace iotdb {
+namespace cluster {
+namespace {
+
+/// Collects delivered request ids and lets tests block until a count (or a
+/// quiet period) is reached. Handlers run on channel threads.
+struct Recorder {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<uint64_t> ids;
+
+  Channel::Handler AsHandler() {
+    return [this](Message msg) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.push_back(msg.request_id);
+      cv.notify_all();
+    };
+  }
+
+  bool WaitForCount(size_t n, int timeout_ms = 2000) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return ids.size() >= n; });
+  }
+
+  std::vector<uint64_t> Ids() {
+    std::lock_guard<std::mutex> lock(mu);
+    return ids;
+  }
+};
+
+Message Msg(int dst, uint64_t id) {
+  Message msg;
+  msg.kind = MessageKind::kWriteRequest;
+  msg.dst = dst;
+  msg.src = kCoordinatorEndpoint;
+  msg.request_id = id;
+  return msg;
+}
+
+TEST(ChannelTest, DeliversFifoPerDestination) {
+  auto channel = NewInProcessChannel();
+  Recorder recorder;
+  channel->RegisterEndpoint(0, recorder.AsHandler());
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(channel->Send(Msg(0, i)));
+  }
+  ASSERT_TRUE(recorder.WaitForCount(200));
+  std::vector<uint64_t> ids = recorder.Ids();
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(ids[i], i) << "out of order at " << i;
+  }
+  channel->Shutdown();
+}
+
+TEST(ChannelTest, SendToUnregisteredEndpointFails) {
+  auto channel = NewInProcessChannel();
+  EXPECT_FALSE(channel->Send(Msg(7, 1)));
+  channel->Shutdown();
+  EXPECT_FALSE(channel->Send(Msg(0, 1)));
+}
+
+TEST(ChannelTest, UnregisterStopsDelivery) {
+  auto channel = NewInProcessChannel();
+  Recorder recorder;
+  channel->RegisterEndpoint(0, recorder.AsHandler());
+  ASSERT_TRUE(channel->Send(Msg(0, 1)));
+  ASSERT_TRUE(recorder.WaitForCount(1));
+  channel->UnregisterEndpoint(0);
+  EXPECT_FALSE(channel->Send(Msg(0, 2)));
+  channel->Shutdown();
+}
+
+TEST(FaultChannelTest, SameSeedSameFaultDecisions) {
+  auto run = [](uint64_t seed) {
+    FaultChannel channel(NewInProcessChannel(), seed);
+    Recorder recorder;
+    channel.RegisterEndpoint(0, recorder.AsHandler());
+    channel.SetDropProbability(0.3);
+    channel.SetDuplicateProbability(0.2);
+    for (uint64_t i = 0; i < 500; ++i) channel.Send(Msg(0, i));
+    NetFaultCounters counters = channel.GetCounters();
+    channel.Shutdown();
+    return counters;
+  };
+  NetFaultCounters a = run(11);
+  NetFaultCounters b = run(11);
+  NetFaultCounters c = run(12);
+  EXPECT_GT(a.dropped, 0u);
+  EXPECT_GT(a.duplicated, 0u);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  // A different seed takes different decisions (500 Bernoulli draws
+  // colliding exactly is astronomically unlikely).
+  EXPECT_TRUE(a.dropped != c.dropped || a.duplicated != c.duplicated);
+}
+
+TEST(FaultChannelTest, DropProbabilityOneDeliversNothing) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder recorder;
+  channel.RegisterEndpoint(0, recorder.AsHandler());
+  channel.SetDropProbability(1.0);
+  for (uint64_t i = 0; i < 50; ++i) channel.Send(Msg(0, i));
+  EXPECT_FALSE(recorder.WaitForCount(1, 100));
+  NetFaultCounters counters = channel.GetCounters();
+  EXPECT_EQ(counters.sent, 50u);
+  EXPECT_EQ(counters.dropped, 50u);
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, DuplicateProbabilityOneDeliversTwice) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder recorder;
+  channel.RegisterEndpoint(0, recorder.AsHandler());
+  channel.SetDuplicateProbability(1.0);
+  for (uint64_t i = 0; i < 20; ++i) channel.Send(Msg(0, i));
+  ASSERT_TRUE(recorder.WaitForCount(40));
+  std::vector<uint64_t> ids = recorder.Ids();
+  std::multiset<uint64_t> seen(ids.begin(), ids.end());
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(seen.count(i), 2u) << "id " << i;
+  }
+  EXPECT_EQ(channel.GetCounters().duplicated, 20u);
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, EndpointDelayDefersDelivery) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder slow;
+  Recorder fast;
+  channel.RegisterEndpoint(0, slow.AsHandler());
+  channel.RegisterEndpoint(1, fast.AsHandler());
+  channel.SetEndpointDelay(0, 30'000, 30'000);  // 30 ms into endpoint 0
+  channel.Send(Msg(0, 1));
+  channel.Send(Msg(1, 2));
+  // The undelayed endpoint hears its message while the delayed one still
+  // waits.
+  ASSERT_TRUE(fast.WaitForCount(1));
+  EXPECT_TRUE(slow.Ids().empty());
+  ASSERT_TRUE(slow.WaitForCount(1));  // ...and it arrives eventually
+  EXPECT_EQ(channel.GetCounters().delayed, 1u);
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, ReorderShufflesButLosesNothing) {
+  FaultChannel channel(NewInProcessChannel(), 99);
+  Recorder recorder;
+  channel.RegisterEndpoint(0, recorder.AsHandler());
+  channel.SetReorderProbability(0.5, /*window_micros=*/3000);
+  for (uint64_t i = 0; i < 200; ++i) channel.Send(Msg(0, i));
+  ASSERT_TRUE(recorder.WaitForCount(200));
+  std::vector<uint64_t> ids = recorder.Ids();
+  std::set<uint64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), 200u);  // at-most-once, nothing lost
+  EXPECT_GT(channel.GetCounters().reordered, 0u);
+  bool out_of_order = false;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] < ids[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, IsolateBlocksBothDirectionsUntilHealed) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder at0;
+  Recorder at1;
+  channel.RegisterEndpoint(0, at0.AsHandler());
+  channel.RegisterEndpoint(1, at1.AsHandler());
+
+  channel.Isolate(1);
+  EXPECT_FALSE(channel.Reachable(0, 1));
+  EXPECT_FALSE(channel.Reachable(1, 0));
+  EXPECT_TRUE(channel.Reachable(0, 0));
+  Message to_isolated = Msg(1, 1);
+  to_isolated.src = 0;
+  channel.Send(to_isolated);
+  Message from_isolated = Msg(0, 2);
+  from_isolated.src = 1;
+  channel.Send(from_isolated);
+  EXPECT_FALSE(at1.WaitForCount(1, 100));
+  EXPECT_TRUE(at0.Ids().empty());
+  EXPECT_EQ(channel.GetCounters().partition_blocked, 2u);
+
+  channel.Heal(1);
+  EXPECT_TRUE(channel.Reachable(0, 1));
+  channel.Send(Msg(1, 3));
+  ASSERT_TRUE(at1.WaitForCount(1));
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, OneWayPartitionBlocksOnlyThatDirection) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder at0;
+  Recorder at1;
+  channel.RegisterEndpoint(0, at0.AsHandler());
+  channel.RegisterEndpoint(1, at1.AsHandler());
+
+  channel.PartitionOneWay(0, 1);
+  EXPECT_FALSE(channel.Reachable(0, 1));
+  EXPECT_TRUE(channel.Reachable(1, 0));
+  Message forward = Msg(1, 1);
+  forward.src = 0;
+  channel.Send(forward);
+  Message backward = Msg(0, 2);
+  backward.src = 1;
+  channel.Send(backward);
+  ASSERT_TRUE(at0.WaitForCount(1));
+  EXPECT_TRUE(at1.Ids().empty());
+
+  channel.HealAll();
+  channel.Send(forward);
+  ASSERT_TRUE(at1.WaitForCount(1));
+  channel.Shutdown();
+}
+
+TEST(FaultChannelTest, ShutdownWithDelayedMessagesInFlightIsSafe) {
+  FaultChannel channel(NewInProcessChannel(), 1);
+  Recorder recorder;
+  channel.RegisterEndpoint(0, recorder.AsHandler());
+  channel.SetDefaultDelay(50'000, 100'000);
+  for (uint64_t i = 0; i < 50; ++i) channel.Send(Msg(0, i));
+  // Shut down while every message still sits in the delay heap: nothing may
+  // crash or deliver after shutdown.
+  channel.Shutdown();
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace iotdb

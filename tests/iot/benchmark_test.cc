@@ -370,6 +370,76 @@ TEST(BenchmarkDriverTest, CorruptionScheduleDetectsAndRepairs) {
             sut->node(0)->store()->CountKeysSlow());
 }
 
+TEST(BenchmarkDriverTest, NetFaultScheduleDegradesAndConverges) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication_factor = 3;
+  options.shard_key_fn = TpcxIotShardKey;
+  options.storage_options.write_buffer_size = 256 * 1024;
+  options.enable_net_fault_injection = true;
+  options.net_fault_seed = 17;
+  options.straggler_timeout_micros = 20'000;
+  auto sut = cluster::Cluster::Start(options).MoveValueUnsafe();
+
+  BenchmarkConfig config;
+  config.num_driver_instances = 2;
+  config.total_kvps = 20000;
+  config.batch_size = 200;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_net_partition_node = 1;
+  config.fault_net_partition_at_ops = 5000;
+  config.fault_net_heal_after_ops = 5000;
+
+  BenchmarkDriver driver(config, sut.get());
+  WorkloadExecution execution = driver.ExecuteWorkload();
+  ASSERT_TRUE(execution.status.ok()) << execution.status.ToString();
+  EXPECT_EQ(execution.metrics.kvps_ingested, 20000u);
+
+  // The partition fired, writes kept meeting quorum on the reachable
+  // replicas, and the accounting invariant holds exactly.
+  EXPECT_GT(execution.net_faults.partition_blocked, 0u);
+  EXPECT_GT(execution.availability.writes_attempted, 0u);
+  EXPECT_EQ(execution.availability.writes_attempted,
+            execution.availability.writes_quorum_met +
+                execution.availability.writes_unavailable);
+  EXPECT_GE(static_cast<double>(execution.availability.writes_quorum_met),
+            0.99 * static_cast<double>(
+                       execution.availability.writes_attempted));
+  EXPECT_GT(execution.availability.straggler_hinted_kvps, 0u);
+
+  // Heal + hint drain ran inside the execution: the once-partitioned node
+  // converged with its replicas (rf == nodes, every node holds every key).
+  ASSERT_TRUE(sut->FlushAll().ok());
+  EXPECT_EQ(sut->node(1)->store()->CountKeysSlow(),
+            sut->node(0)->store()->CountKeysSlow());
+
+  // And the FDR gains the Availability section with its PASS invariant.
+  BenchmarkResult result;
+  result.iterations[0].measured = std::move(execution);
+  PricedConfiguration pricing =
+      PricedConfiguration::ReferenceGatewayConfig(3);
+  SutDescription sut_desc;
+  sut_desc.nodes = 3;
+  std::string fdr = FullDisclosureReport(result, pricing, sut_desc);
+  EXPECT_NE(fdr.find("--- Availability ---"), std::string::npos);
+  EXPECT_NE(fdr.find("[PASS] write accounting"), std::string::npos);
+}
+
+TEST(BenchmarkDriverTest, RejectsNetFaultScheduleWithoutNetChannel) {
+  auto sut = MakeSut(3);  // no net fault injection enabled
+  BenchmarkConfig config;
+  config.num_driver_instances = 1;
+  config.total_kvps = 1000;
+  config.min_run_seconds = 0;
+  config.min_per_sensor_rate = 0;
+  config.fault_net_partition_node = 1;
+  BenchmarkDriver driver(config, sut.get());
+  BenchmarkResult result = driver.Run();
+  EXPECT_TRUE(result.status.IsInvalidArgument()) << result.status.ToString();
+  EXPECT_EQ(result.invalid_reason, "invalid fault schedule");
+}
+
 TEST(BenchmarkDriverTest, RejectsCorruptionScheduleWithoutFaultEnv) {
   auto sut = MakeSut(3);  // no fault injection enabled
   BenchmarkConfig config;

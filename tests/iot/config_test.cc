@@ -206,6 +206,72 @@ TEST(BenchmarkConfigTest, FaultScheduleRoundTrips) {
   EXPECT_EQ(restored.ValueOrDie().fault_restart_after_ops, 500u);
 }
 
+TEST(BenchmarkConfigTest, ParsesNetFaultSchedule) {
+  Properties props;
+  ASSERT_TRUE(props
+                  .ParseText("fault.net_partition_node=2\n"
+                             "fault.net_partition_at_ops=5000\n"
+                             "fault.net_heal_after_ops=3000\n"
+                             "fault.net_delay_node=1\n"
+                             "fault.net_delay_ms=50\n"
+                             "fault.net_drop_pct=0.01\n"
+                             "fault.net_dup_pct=0.02\n"
+                             "fault.net_reorder_pct=0.05\n")
+                  .ok());
+  auto result = LoadBenchmarkConfig(props);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BenchmarkConfig& config = result.ValueOrDie();
+  EXPECT_EQ(config.fault_net_partition_node, 2);
+  EXPECT_EQ(config.fault_net_partition_at_ops, 5000u);
+  EXPECT_EQ(config.fault_net_heal_after_ops, 3000u);
+  EXPECT_EQ(config.fault_net_delay_node, 1);
+  EXPECT_EQ(config.fault_net_delay_ms, 50u);
+  EXPECT_DOUBLE_EQ(config.fault_net_drop_pct, 0.01);
+  EXPECT_DOUBLE_EQ(config.fault_net_dup_pct, 0.02);
+  EXPECT_DOUBLE_EQ(config.fault_net_reorder_pct, 0.05);
+  EXPECT_TRUE(config.HasNetFaultSchedule());
+
+  // Defaults: no net fault schedule.
+  Properties empty;
+  auto defaults = LoadBenchmarkConfig(empty);
+  EXPECT_EQ(defaults.ValueOrDie().fault_net_partition_node, -1);
+  EXPECT_FALSE(defaults.ValueOrDie().HasNetFaultSchedule());
+
+  // Round-trip through the serialized form.
+  auto restored =
+      LoadBenchmarkConfig(BenchmarkConfigToProperties(result.ValueOrDie()));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie().fault_net_partition_node, 2);
+  EXPECT_EQ(restored.ValueOrDie().fault_net_partition_at_ops, 5000u);
+  EXPECT_EQ(restored.ValueOrDie().fault_net_heal_after_ops, 3000u);
+  EXPECT_EQ(restored.ValueOrDie().fault_net_delay_node, 1);
+  EXPECT_EQ(restored.ValueOrDie().fault_net_delay_ms, 50u);
+  EXPECT_DOUBLE_EQ(restored.ValueOrDie().fault_net_drop_pct, 0.01);
+}
+
+TEST(BenchmarkConfigTest, NetFaultScheduleValidated) {
+  Properties orphan_threshold;
+  orphan_threshold.Set("fault.net_partition_at_ops", "100");
+  EXPECT_TRUE(
+      LoadBenchmarkConfig(orphan_threshold).status().IsInvalidArgument());
+
+  Properties orphan_delay;
+  orphan_delay.Set("fault.net_delay_ms", "50");  // no delay node
+  EXPECT_TRUE(LoadBenchmarkConfig(orphan_delay).status().IsInvalidArgument());
+
+  Properties zero_delay;
+  zero_delay.Set("fault.net_delay_node", "1");  // no delay amount
+  EXPECT_TRUE(LoadBenchmarkConfig(zero_delay).status().IsInvalidArgument());
+
+  Properties bad_pct;
+  bad_pct.Set("fault.net_drop_pct", "1.5");
+  EXPECT_TRUE(LoadBenchmarkConfig(bad_pct).status().IsInvalidArgument());
+
+  Properties negative_pct;
+  negative_pct.Set("fault.net_reorder_pct", "-0.1");
+  EXPECT_TRUE(LoadBenchmarkConfig(negative_pct).status().IsInvalidArgument());
+}
+
 TEST(ReportFilesTest, WritesBothArtifacts) {
   auto env = storage::NewMemEnv();
   BenchmarkResult result;

@@ -1,0 +1,38 @@
+# Script mode (cmake -P): configure a thread-sanitized build of the
+# storage_shard test suite in BUILD_DIR, build just that target, and run
+# it. Invoked as a ctest from the normal (unsanitized) build so the sharded
+# write path's concurrency — per-shard group-commit leaders, block sequence
+# allocation and prefix publication, memtable switches racing the
+# background flusher, and the freeze-all-shards GC path — always also runs
+# under TSan; the suite links only iotdb_storage and below, which keeps the
+# nested build small enough for single-core builders.
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P "
+                      "shard_tsan_tier.cmake")
+endif()
+
+message(STATUS "shard_tsan tier: configuring ${BUILD_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DIOTDB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "shard_tsan tier: configure failed (${rc})")
+endif()
+
+message(STATUS "shard_tsan tier: building storage_shard_tests")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target storage_shard_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR "shard_tsan tier: build failed (${rc})")
+endif()
+
+message(STATUS "shard_tsan tier: running storage_shard_tests under TSan")
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/storage_shard_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR
+          "shard_tsan tier: storage_shard_tests failed under TSan (${rc})")
+endif()

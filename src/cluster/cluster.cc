@@ -340,12 +340,10 @@ void Cluster::HandleReplicaMessage(int node_id, Message msg) {
   Node* node = nodes_[node_id].get();
   switch (msg.kind) {
     case MessageKind::kWriteRequest: {
-      // WriteBatch sequence numbers are assigned per node store, so each
-      // replica builds its own batch from the shared rows.
-      storage::WriteBatch batch;
-      for (const auto& [key, value] : *msg.rows) batch.Put(key, value);
+      // Sequence numbers are assigned per node store, so each replica
+      // ingests the shared rows directly (vectorized, shard-routed).
       Status s =
-          node->ApplyBatch(&batch, msg.as_primary, msg.kvps, msg.bytes);
+          node->ApplyRows(*msg.rows, msg.as_primary, msg.kvps, msg.bytes);
       Message ack;
       ack.kind = MessageKind::kWriteAck;
       ack.request_id = msg.request_id;

@@ -1,6 +1,8 @@
 #include "cluster/node.h"
 
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -124,13 +126,44 @@ Status Node::ApplyBatch(storage::WriteBatch* batch, bool as_primary,
   return Status::OK();
 }
 
+Status Node::ApplyRows(
+    const std::vector<std::pair<std::string, std::string>>& rows,
+    bool as_primary, uint64_t kvps, uint64_t bytes) {
+  std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
+  if (is_down() || store_ == nullptr) return NotRunningError();
+  std::vector<storage::KvEntry> entries;
+  entries.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    entries.push_back({Slice(key), Slice(value)});
+  }
+  IOTDB_RETURN_NOT_OK(store_->PutMany(
+      storage::WriteOptions(),
+      std::span<const storage::KvEntry>(entries.data(), entries.size())));
+  writes_.fetch_add(kvps, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  if (as_primary) {
+    primary_writes_.fetch_add(kvps, std::memory_order_relaxed);
+  }
+  if (obs::Enabled()) {
+    Instruments().writes->Add(kvps);
+    Instruments().bytes_written->Add(bytes);
+    if (as_primary) obs_primary_kvps_->Add(kvps);
+  }
+  return Status::OK();
+}
+
 Status Node::ApplyHintBatch(
     const std::vector<std::pair<std::string, std::string>>& rows) {
   std::shared_lock<std::shared_mutex> lock(lifecycle_mu_);
   if (store_ == nullptr) return NotRunningError();
-  storage::WriteBatch batch;
-  for (const auto& [key, value] : rows) batch.Put(key, value);
-  return store_->Write(storage::WriteOptions(), &batch);
+  std::vector<storage::KvEntry> entries;
+  entries.reserve(rows.size());
+  for (const auto& [key, value] : rows) {
+    entries.push_back({Slice(key), Slice(value)});
+  }
+  return store_->PutMany(
+      storage::WriteOptions(),
+      std::span<const storage::KvEntry>(entries.data(), entries.size()));
 }
 
 Status Node::UnderRepairError() const {

@@ -108,6 +108,13 @@ class Node {
   Status ApplyBatch(storage::WriteBatch* batch, bool as_primary,
                     uint64_t kvps, uint64_t bytes);
 
+  /// Vectorized variant of ApplyBatch: hands the shared replicated rows
+  /// straight to KVStore::PutMany, which routes them to write shards in a
+  /// single pass — no intermediate per-replica WriteBatch copy.
+  Status ApplyRows(
+      const std::vector<std::pair<std::string, std::string>>& rows,
+      bool as_primary, uint64_t kvps, uint64_t bytes);
+
   /// Applies replayed hint rows. Unlike ApplyBatch this succeeds while the
   /// node is still marked down (rejoin catch-up runs before the node is
   /// flipped live) and bumps no throughput counters — the rows were already

@@ -60,6 +60,26 @@ std::string NodeIdFromCounterName(const std::string& name) {
   return id;
 }
 
+/// Extracts "<i>" from "storage.shard<i>.puts"; empty when the name does
+/// not match.
+std::string ShardIdFromCounterName(const std::string& name) {
+  constexpr const char kPrefix[] = "storage.shard";
+  constexpr const char kSuffix[] = ".puts";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return "";
+  if (name.compare(0, prefix_len, kPrefix) != 0) return "";
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return "";
+  }
+  std::string id =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  for (char c : id) {
+    if (c < '0' || c > '9') return "";
+  }
+  return id;
+}
+
 }  // namespace
 
 std::string Timeline::ToJson() const {
@@ -141,11 +161,63 @@ std::string Timeline::ToJson() const {
       out += "\":";
       out += std::to_string(value);
     }
-    out += "}}";
+    out += "},\"shard_puts\":{";
+    bool first_shard = true;
+    for (const auto& [name, value] : interval.delta.counters) {
+      std::string id = ShardIdFromCounterName(name);
+      if (id.empty()) continue;
+      if (!first_shard) out += ',';
+      first_shard = false;
+      out += '"';
+      out += id;
+      out += "\":";
+      out += std::to_string(value);
+    }
+    out += "},\"shard_imbalance_pct\":";
+    out += std::to_string(interval.GaugeValue("storage.shard.imbalance"));
+    out += '}';
   }
   out += "]}";
   return out;
 }
+
+namespace {
+
+// Folds `next` into `into` (its immediate predecessor in time): counter
+// and histogram deltas add, gauges take the later level, and the merged
+// interval covers both windows. Because consecutive deltas telescope, the
+// merge is lossless for totals — only the interior boundary is lost.
+void MergeIntervalInto(const TimelineInterval& next, TimelineInterval* into) {
+  into->end_micros = next.end_micros;
+  for (const auto& [name, value] : next.delta.counters) {
+    into->delta.counters[name] += value;
+  }
+  for (const auto& [name, value] : next.delta.gauges) {
+    into->delta.gauges[name] = value;
+  }
+  for (const auto& [name, hist] : next.delta.histograms) {
+    auto it = into->delta.histograms.find(name);
+    if (it == into->delta.histograms.end()) {
+      into->delta.histograms[name] = hist;
+      continue;
+    }
+    HistogramSnapshot& acc = it->second;
+    if (acc.count == 0) {
+      acc.min = hist.min;
+    } else if (hist.count > 0 && hist.min < acc.min) {
+      acc.min = hist.min;
+    }
+    if (hist.max > acc.max) acc.max = hist.max;
+    acc.count += hist.count;
+    acc.sum += hist.sum;
+    std::map<uint32_t, uint64_t> merged(acc.buckets.begin(),
+                                        acc.buckets.end());
+    for (const auto& [index, n] : hist.buckets) merged[index] += n;
+    acc.buckets.assign(merged.begin(), merged.end());
+  }
+}
+
+}  // namespace
 
 Sampler::Sampler(SamplerOptions options) : options_(options) {
   if (options_.clock == nullptr) options_.clock = Clock::Real();
@@ -203,7 +275,13 @@ void Sampler::SampleLocked(std::unique_lock<std::mutex>& lock) {
     interval.end_micros = now;
     interval.delta = current.DeltaSince(base_);
     if (ring_.size() == options_.capacity) {
-      ring_.pop_front();
+      // Fold the second-oldest interval into the oldest instead of
+      // discarding data: the ring stays bounded, interval granularity
+      // coarsens at the old end, and counter totals still telescope to
+      // the exact run total (the invariant the bench cross-check and the
+      // FDR ingest accounting rely on).
+      MergeIntervalInto(ring_[1], &ring_[0]);
+      ring_.erase(ring_.begin() + 1);
       ++dropped_;
     }
     ring_.push_back(std::move(interval));

@@ -44,9 +44,10 @@ struct TimelineInterval {
 /// Because consecutive deltas telescope, the per-interval sums of any
 /// counter add up exactly to (final cumulative − first cumulative) — the
 /// property the bench acceptance check relies on. When the sampler's ring
-/// overflows, the *oldest* intervals are discarded and counted in
-/// `dropped_intervals`; the telescoping property then holds from the first
-/// retained interval.
+/// overflows, the two *oldest* intervals are merged (deltas add, the
+/// interior boundary is lost and counted in `dropped_intervals`), so the
+/// ring stays bounded while the exact-total property holds over the whole
+/// run; only interval granularity coarsens at the old end.
 struct Timeline {
   uint64_t cadence_micros = 0;
   uint64_t dropped_intervals = 0;
@@ -73,9 +74,10 @@ struct SamplerOptions {
   /// Interval between background snapshots. Default 1 s, matching the
   /// per-second granularity of the paper's timeline figures.
   uint64_t cadence_micros = 1'000'000;
-  /// Maximum retained intervals; older intervals are dropped (and counted)
-  /// beyond this. 4096 ≈ 68 minutes at the default cadence — comfortably
-  /// past the 35-minute warmup+measurement minimum.
+  /// Maximum retained intervals; beyond this the oldest pair is merged
+  /// (boundaries counted in Timeline::dropped_intervals, totals exact).
+  /// 4096 ≈ 68 minutes at the default cadence — comfortably past the
+  /// 35-minute warmup+measurement minimum.
   size_t capacity = 4096;
   Clock* clock = nullptr;  // defaults to Clock::Real()
 };

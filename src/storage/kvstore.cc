@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -22,6 +23,7 @@ namespace {
 
 constexpr size_t kMaxGroupCommitBytes = 1 << 20;  // 1 MiB
 constexpr uint64_t kMaxOutputFileBytes = 2 << 20;  // 2 MiB per compaction out
+constexpr int kMaxWriteShards = 64;
 
 std::string ToHex(const Slice& s) {
   static const char kHex[] = "0123456789abcdef";
@@ -65,6 +67,27 @@ bool ParseFileName(const std::string& name, uint64_t* number,
   }
   *number = strtoull(name.substr(0, dot).c_str(), nullptr, 10);
   *suffix = name.substr(dot + 1);
+  return true;
+}
+
+/// Parses "wal-<shard>-<number>.log" WAL partition names. The exact ".log"
+/// suffix check keeps ".log.quarantined" files out of every live-file scan.
+bool ParseWalFileName(const std::string& name, int* shard, uint64_t* number) {
+  if (name.rfind("wal-", 0) != 0) return false;
+  size_t dash = name.find('-', 4);
+  if (dash == std::string::npos || dash == 4) return false;
+  for (size_t i = 4; i < dash; ++i) {
+    if (!isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  size_t dot = name.find('.', dash + 1);
+  if (dot == std::string::npos || dot == dash + 1) return false;
+  for (size_t i = dash + 1; i < dot; ++i) {
+    if (!isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  if (name.substr(dot) != ".log") return false;
+  *shard = atoi(name.substr(4, dash - 4).c_str());
+  *number = strtoull(name.substr(dash + 1, dot - dash - 1).c_str(), nullptr,
+                     10);
   return true;
 }
 
@@ -187,6 +210,27 @@ KVStore::KVStore(const Options& options, const std::string& name)
       registry.GetCounter("storage.vlog.gc_rewritten_records");
   obs_.vlog_recovery_dropped_pointers =
       registry.GetCounter("storage.vlog.recovery_dropped_pointers");
+  obs_.shard_imbalance = registry.GetGauge("storage.shard.imbalance");
+
+  int nshards = options_.write_shards;
+  if (nshards <= 0) {
+    nshards = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  nshards = std::clamp(nshards, 1, kMaxWriteShards);
+  options_.write_shards = nshards;
+  shards_.reserve(static_cast<size_t>(nshards));
+  for (int i = 0; i < nshards; ++i) {
+    auto shard = std::make_unique<WriteShard>();
+    shard->id = i;
+    char prefix[32];
+    snprintf(prefix, sizeof(prefix), "storage.shard%d.", i);
+    shard->obs_puts = registry.GetCounter(std::string(prefix) + "puts");
+    shard->obs_stall_micros =
+        registry.GetCounter(std::string(prefix) + "stall_micros");
+    shard->obs_wal_bytes =
+        registry.GetCounter(std::string(prefix) + "wal_bytes");
+    shards_.push_back(std::move(shard));
+  }
 }
 
 KVStore::~KVStore() {
@@ -198,16 +242,22 @@ KVStore::~KVStore() {
     }
   }
   background_pool_->Shutdown();
-  if (log_file_ != nullptr) {
-    log_file_->Close();
+  for (auto& shard : shards_) {
+    if (shard->log_file != nullptr) shard->log_file->Close();
+    if (shard->mem != nullptr) shard->mem->Unref();
+    if (shard->imm != nullptr) shard->imm->Unref();
   }
-  if (mem_ != nullptr) mem_->Unref();
-  if (imm_ != nullptr) imm_->Unref();
 }
 
 std::string KVStore::LogFileName(uint64_t number) const {
   char buf[32];
   snprintf(buf, sizeof(buf), "/%08" PRIu64 ".log", number);
+  return dbname_ + buf;
+}
+
+std::string KVStore::WalFileName(int shard, uint64_t number) const {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "/wal-%d-%08" PRIu64 ".log", shard, number);
   return dbname_ + buf;
 }
 
@@ -237,6 +287,18 @@ Status KVStore::Destroy(const Options& options, const std::string& name) {
   return Status::OK();
 }
 
+int KVStore::ShardForKey(const Slice& key) const {
+  if (shards_.size() == 1) return 0;
+  // FNV-1a: cheap, stable across runs (routing must be a pure function of
+  // the key so recovery and reads find what writes stored).
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<uint8_t>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<int>(h % shards_.size());
+}
+
 Status KVStore::Recover() {
   IOTDB_RETURN_NOT_OK(env_->CreateDir(dbname_));
 
@@ -251,117 +313,54 @@ Status KVStore::Recover() {
     IOTDB_RETURN_NOT_OK(RecoverVlogFiles());
   }
 
-  mem_ = new MemTable(icmp_);
-  mem_->Ref();
+  for (auto& shard : shards_) {
+    shard->mem = new MemTable(icmp_);
+    shard->mem->Ref();
+  }
 
-  // Replay WALs not yet represented by flushed tables, oldest first.
+  // Collect WAL partitions (and legacy single-WAL files) not yet
+  // represented by flushed tables. A shard id at or past the current count
+  // comes from a previous incarnation with more shards: replay it — the
+  // records re-route by the current hash — then delete it below.
   IOTDB_ASSIGN_OR_RETURN(auto files, env_->ListDir(dbname_));
-  std::vector<uint64_t> log_numbers;
+  std::vector<std::string> wal_paths;
+  uint64_t max_file_number = next_file_number_.load(std::memory_order_relaxed);
   for (const std::string& f : files) {
     uint64_t number;
+    int shard_id;
     std::string suffix;
-    if (ParseFileName(f, &number, &suffix) && suffix == "log" &&
-        number >= log_number_) {
-      log_numbers.push_back(number);
+    if (ParseWalFileName(f, &shard_id, &number)) {
+      uint64_t keep = 0;
+      auto it = recovered_wal_keeps_.find(shard_id);
+      if (it != recovered_wal_keeps_.end()) keep = it->second;
+      if (number >= keep) wal_paths.push_back(dbname_ + "/" + f);
+      max_file_number = std::max(max_file_number, number + 1);
+    } else if (ParseFileName(f, &number, &suffix) && suffix == "log" &&
+               number >= log_number_) {
+      wal_paths.push_back(dbname_ + "/" + f);
+      max_file_number = std::max(max_file_number, number + 1);
     }
   }
-  std::sort(log_numbers.begin(), log_numbers.end());
-  for (uint64_t number : log_numbers) {
-    IOTDB_RETURN_NOT_OK(ReplayLogFile(number));
-    next_file_number_ = std::max(next_file_number_, number + 1);
+  next_file_number_.store(max_file_number, std::memory_order_relaxed);
+
+  // Merge-replay all partitions in global sequence order: every batch
+  // carries the sequence block it was allocated, blocks are disjoint, so a
+  // sort by first sequence reconstructs commit order across shards.
+  std::vector<std::pair<SequenceNumber, std::string>> records;
+  uint64_t dropped_bytes = 0;
+  for (const std::string& path : wal_paths) {
+    IOTDB_RETURN_NOT_OK(ReadLogRecords(path, &records, &dropped_bytes));
   }
-
-  // Fresh WAL for new writes.
-  log_number_ = next_file_number_++;
-  IOTDB_ASSIGN_OR_RETURN(log_file_,
-                         env_->NewWritableFile(LogFileName(log_number_)));
-  log_ = std::make_unique<log::Writer>(log_file_.get());
-
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (options_.value_separation) {
-      IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
-    }
-    // Flush replayed entries before the old WALs become deletable; the new
-    // WAL does not contain them.
-    if (mem_->NumEntries() > 0) {
-      imm_ = mem_;
-      mem_ = new MemTable(icmp_);
-      mem_->Ref();
-      IOTDB_RETURN_NOT_OK(CompactMemTable(&lock));
-    }
-    IOTDB_RETURN_NOT_OK(WriteManifest());
-    RemoveObsoleteFiles();
-  }
-  return Status::OK();
-}
-
-namespace {
-
-/// WAL replay under key-value separation: a WAL record can outlive the vlog
-/// record it points at (the vlog tail was torn in a crash, or rotted). A
-/// pointer that no longer dereferences cleanly is dropped — the key falls
-/// back to its previous version or NotFound, never to garbage bytes. The
-/// per-entry sequence numbering still advances for dropped entries so
-/// surviving entries keep the exact sequence the WAL assigned them.
-class ValidatingReplayHandler final : public WriteBatch::Handler {
- public:
-  ValidatingReplayHandler(vlog::VlogReader* reader, MemTable* mem,
-                          SequenceNumber seq)
-      : reader_(reader), mem_(mem), seq_(seq) {}
-
-  void Put(const Slice& key, const Slice& value) override {
-    vlog::ValuePointer ptr;
-    if (vlog::DecodeValuePointer(value, &ptr)) {
-      std::string unused;
-      if (!reader_->Get(ptr, key, &unused).ok()) {
-        dropped_pointers_++;
-        seq_++;
-        return;
-      }
-    }
-    mem_->Add(seq_++, ValueType::kValue, key, value);
-  }
-
-  void Delete(const Slice& key) override {
-    mem_->Add(seq_++, ValueType::kDeletion, key, Slice());
-  }
-
-  uint64_t dropped_pointers() const { return dropped_pointers_; }
-
- private:
-  vlog::VlogReader* const reader_;
-  MemTable* const mem_;
-  SequenceNumber seq_;
-  uint64_t dropped_pointers_ = 0;
-};
-
-}  // namespace
-
-Status KVStore::ReplayLogFile(uint64_t number) {
-  IOTDB_ASSIGN_OR_RETURN(auto file,
-                         env_->NewSequentialFile(LogFileName(number)));
-  LogCorruptionReporter reporter;
-  log::Reader reader(file.get(), &reporter, /*checksum=*/true,
-                     LogFileName(number));
-  Slice record;
-  std::string scratch;
-  WriteBatch batch;
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   uint64_t dropped_pointers = 0;
-  while (reader.ReadRecord(&record, &scratch)) {
-    if (record.size() < 12) continue;
-    IOTDB_RETURN_NOT_OK(WriteBatch::SetContents(&batch, record));
-    if (options_.value_separation) {
-      ValidatingReplayHandler handler(vlog_reader_.get(), mem_,
-                                      batch.sequence());
-      IOTDB_RETURN_NOT_OK(batch.Iterate(&handler));
-      dropped_pointers += handler.dropped_pointers();
-    } else {
-      IOTDB_RETURN_NOT_OK(batch.InsertInto(mem_));
-    }
-    SequenceNumber last = batch.sequence() + batch.Count() - 1;
-    last_sequence_ = std::max(last_sequence_, last);
+  SequenceNumber max_sequence = visible_seq_.load(std::memory_order_relaxed);
+  for (const auto& [seq, contents] : records) {
+    IOTDB_RETURN_NOT_OK(
+        ReplayBatch(Slice(contents), &dropped_pointers, &max_sequence));
   }
+  seq_alloc_.store(max_sequence, std::memory_order_relaxed);
+  visible_seq_.store(max_sequence, std::memory_order_release);
   if (dropped_pointers > 0) {
     IOTDB_LOG(Warn) << "WAL replay dropped " << dropped_pointers
                     << " value pointers whose vlog records were lost";
@@ -370,13 +369,131 @@ Status KVStore::ReplayLogFile(uint64_t number) {
       obs_.vlog_recovery_dropped_pointers->Add(dropped_pointers);
     }
   }
-  if (reporter.dropped_bytes > 0) {
+  if (dropped_bytes > 0) {
     // Recovery skipped damaged regions rather than dropping them silently;
     // the counter lets the FDR warn per node.
-    counters_.wal_recovery_dropped_bytes.Add(reporter.dropped_bytes);
+    counters_.wal_recovery_dropped_bytes.Add(dropped_bytes);
     if (obs::Enabled()) {
-      obs_.wal_recovery_dropped_bytes->Add(reporter.dropped_bytes);
+      obs_.wal_recovery_dropped_bytes->Add(dropped_bytes);
     }
+  }
+
+  // Fresh WAL partition per shard.
+  for (auto& shard : shards_) {
+    uint64_t number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+    IOTDB_ASSIGN_OR_RETURN(
+        shard->log_file,
+        env_->NewWritableFile(WalFileName(shard->id, number)));
+    shard->log = std::make_unique<log::Writer>(shard->log_file.get());
+    shard->log_number = number;
+    shard->wal_keep.store(number, std::memory_order_release);
+  }
+  // Every legacy WAL was replayed (and is flushed below), so anything below
+  // next_file is deletable; the threshold only matters for pre-shard files.
+  log_number_ = next_file_number_.load(std::memory_order_relaxed);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.value_separation) {
+      IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
+    }
+    // Flush replayed entries before the old WAL partitions become
+    // deletable; the fresh partitions do not contain them.
+    for (auto& shard : shards_) {
+      if (shard->mem->NumEntries() == 0) continue;
+      {
+        std::lock_guard<std::mutex> shard_lock(shard->mu);
+        shard->imm = shard->mem;
+        shard->has_imm.store(true, std::memory_order_release);
+        shard->mem = new MemTable(icmp_);
+        shard->mem->Ref();
+      }
+      IOTDB_RETURN_NOT_OK(FlushShard(shard.get(), &lock));
+    }
+    SyncL0CountLocked();
+    IOTDB_RETURN_NOT_OK(WriteManifest());
+    RemoveObsoleteFiles();
+  }
+  return Status::OK();
+}
+
+Status KVStore::ReadLogRecords(
+    const std::string& path,
+    std::vector<std::pair<SequenceNumber, std::string>>* records,
+    uint64_t* dropped_bytes) {
+  IOTDB_ASSIGN_OR_RETURN(auto file, env_->NewSequentialFile(path));
+  LogCorruptionReporter reporter;
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true, path);
+  Slice record;
+  std::string scratch;
+  WriteBatch batch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (record.size() < 12) continue;
+    IOTDB_RETURN_NOT_OK(WriteBatch::SetContents(&batch, record));
+    records->emplace_back(batch.sequence(), record.ToString());
+  }
+  *dropped_bytes += reporter.dropped_bytes;
+  return Status::OK();
+}
+
+Status KVStore::ReplayBatch(const Slice& contents, uint64_t* dropped_pointers,
+                            SequenceNumber* max_sequence) {
+  // WAL replay: entries hash-route to the *current* shard layout (the WAL
+  // partition they were read from is irrelevant — routing is a pure
+  // function of the key, and the shard count may have changed between
+  // runs). Under key-value separation a WAL record can outlive the vlog
+  // record it points at (torn vlog tail, rot): a pointer that no longer
+  // dereferences cleanly is dropped — the key falls back to its previous
+  // version or NotFound, never to garbage bytes. The per-entry sequence
+  // numbering still advances for dropped entries so surviving entries keep
+  // the exact sequence the WAL assigned them.
+  class Router final : public WriteBatch::Handler {
+   public:
+    Router(KVStore* store, vlog::VlogReader* reader, SequenceNumber seq)
+        : store_(store), reader_(reader), seq_(seq) {}
+
+    void Put(const Slice& key, const Slice& value) override {
+      if (reader_ != nullptr) {
+        vlog::ValuePointer ptr;
+        if (vlog::DecodeValuePointer(value, &ptr)) {
+          std::string unused;
+          if (!reader_->Get(ptr, key, &unused).ok()) {
+            dropped_pointers_++;
+            seq_++;
+            return;
+          }
+        }
+      }
+      Mem(key)->Add(seq_++, ValueType::kValue, key, value);
+    }
+
+    void Delete(const Slice& key) override {
+      Mem(key)->Add(seq_++, ValueType::kDeletion, key, Slice());
+    }
+
+    uint64_t dropped_pointers() const { return dropped_pointers_; }
+
+   private:
+    MemTable* Mem(const Slice& key) {
+      return store_->shards_[store_->ShardForKey(key)]->mem;
+    }
+
+    KVStore* const store_;
+    vlog::VlogReader* const reader_;
+    SequenceNumber seq_;
+    uint64_t dropped_pointers_ = 0;
+  };
+
+  WriteBatch batch;
+  IOTDB_RETURN_NOT_OK(WriteBatch::SetContents(&batch, contents));
+  Router router(this,
+                options_.value_separation ? vlog_reader_.get() : nullptr,
+                batch.sequence());
+  IOTDB_RETURN_NOT_OK(batch.Iterate(&router));
+  *dropped_pointers += router.dropped_pointers();
+  if (batch.Count() > 0) {
+    SequenceNumber last = batch.sequence() + batch.Count() - 1;
+    *max_sequence = std::max(*max_sequence, last);
   }
   return Status::OK();
 }
@@ -415,9 +532,16 @@ Status KVStore::OpenTable(uint64_t number, std::shared_ptr<FileMeta>* meta) {
 Status KVStore::WriteManifest() {
   std::ostringstream out;
   out << "manifest_version 1\n";
-  out << "next_file " << next_file_number_ << "\n";
-  out << "last_sequence " << last_sequence_ << "\n";
+  out << "next_file " << next_file_number_.load(std::memory_order_relaxed)
+      << "\n";
+  out << "last_sequence " << visible_seq_.load(std::memory_order_relaxed)
+      << "\n";
   out << "log_number " << log_number_ << "\n";
+  out << "wal_shards " << shards_.size() << "\n";
+  for (const auto& shard : shards_) {
+    out << "shard_log " << shard->id << " "
+        << shard->wal_keep.load(std::memory_order_acquire) << "\n";
+  }
   out << "vlog_sep " << (options_.value_separation ? 1 : 0) << "\n";
   for (const auto& vf : vlog_files_) {
     out << "vlog " << vf.number << " " << vf.size << " " << vf.dead_bytes
@@ -448,11 +572,27 @@ Status KVStore::LoadManifest(bool* found) {
       in >> version;
       if (version != 1) return Status::Corruption("bad manifest version");
     } else if (tag == "next_file") {
-      in >> next_file_number_;
+      uint64_t next_file;
+      in >> next_file;
+      next_file_number_.store(next_file, std::memory_order_relaxed);
     } else if (tag == "last_sequence") {
-      in >> last_sequence_;
+      SequenceNumber last_sequence;
+      in >> last_sequence;
+      visible_seq_.store(last_sequence, std::memory_order_relaxed);
+      seq_alloc_.store(last_sequence, std::memory_order_relaxed);
     } else if (tag == "log_number") {
       in >> log_number_;
+    } else if (tag == "wal_shards") {
+      // Informational: the previous incarnation's shard count. Recovery
+      // re-routes by the current hash, so a mismatch is fine.
+      size_t previous_shards;
+      in >> previous_shards;
+    } else if (tag == "shard_log") {
+      int shard_id;
+      uint64_t keep;
+      in >> shard_id >> keep;
+      if (shard_id < 0) return Status::Corruption("bad manifest shard id");
+      recovered_wal_keeps_[shard_id] = keep;
     } else if (tag == "vlog_sep") {
       int sep;
       in >> sep;
@@ -510,6 +650,7 @@ Status KVStore::LoadManifest(bool* found) {
   // Oldest vlog file first: the front is the GC tail.
   std::sort(vlog_files_.begin(), vlog_files_.end(),
             [](const auto& a, const auto& b) { return a.number < b.number; });
+  SyncL0CountLocked();
   *found = true;
   return Status::OK();
 }
@@ -523,7 +664,18 @@ void KVStore::RemoveObsoleteFiles() {
   if (!listing.ok()) return;
   for (const std::string& name : listing.ValueOrDie()) {
     uint64_t number;
+    int shard_id;
     std::string suffix;
+    if (ParseWalFileName(name, &shard_id, &number)) {
+      // A partition is deletable once its shard's flushed threshold passed
+      // it — or once its shard no longer exists (count shrank; recovery
+      // replayed and flushed it already).
+      bool keep =
+          shard_id < static_cast<int>(shards_.size()) &&
+          number >= shards_[shard_id]->wal_keep.load(std::memory_order_acquire);
+      if (!keep) env_->RemoveFile(dbname_ + "/" + name).ok();
+      continue;
+    }
     if (!ParseFileName(name, &number, &suffix)) continue;
     bool keep = true;
     if (suffix == "log") {
@@ -542,6 +694,10 @@ void KVStore::RemoveObsoleteFiles() {
       env_->RemoveFile(dbname_ + "/" + name).ok();
     }
   }
+}
+
+void KVStore::SyncL0CountLocked() {
+  l0_files_.store(levels_.NumFiles(0), std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +740,7 @@ bool KVStore::QuarantineFileLocked(const std::shared_ptr<FileMeta>& meta,
     }
   }
   if (!removed) return false;  // already quarantined or compacted away
+  SyncL0CountLocked();
   QuarantinePath(TableFileName(meta->number), cause);
   WriteManifest().ok();  // quarantine must survive a restart; best effort
   return true;
@@ -638,12 +795,12 @@ bool KVStore::IsLiveTableFile(const std::string& path) {
   return false;
 }
 
-Status KVStore::VerifyWalTailLocked(uint64_t* dropped_bytes) {
-  IOTDB_ASSIGN_OR_RETURN(auto file,
-                         env_->NewSequentialFile(LogFileName(log_number_)));
+Status KVStore::VerifyWalTail(int shard, uint64_t number,
+                              uint64_t* dropped_bytes) {
+  const std::string path = WalFileName(shard, number);
+  IOTDB_ASSIGN_OR_RETURN(auto file, env_->NewSequentialFile(path));
   LogCorruptionReporter reporter;
-  log::Reader reader(file.get(), &reporter, /*checksum=*/true,
-                     LogFileName(log_number_));
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true, path);
   Slice record;
   std::string scratch;
   while (reader.ReadRecord(&record, &scratch)) {
@@ -659,19 +816,21 @@ Status KVStore::VerifyIntegrity(ScrubReport* report) {
   ScrubReport* rep = report != nullptr ? report : &local;
 
   std::unique_lock<std::mutex> lock(mu_);
-  // Quiesce the group-commit leader so the WAL's flushed prefix is stable
-  // (appends happen only while leader_active_, and new leaders need mu_).
-  // The live WAL is checked but never quarantined: its records also live
-  // in the memtable, and rotation retires it naturally.
-  while (leader_active_) {
-    background_work_finished_cv_.wait(lock);
-  }
-  if (log_file_ != nullptr) {
-    log_file_->Flush().ok();
-    IOTDB_RETURN_NOT_OK(VerifyWalTailLocked(&rep->wal_dropped_bytes));
+  // Walk each shard's live WAL tail holding that shard's mutex with its
+  // leader drained, so the flushed prefix is stable under the walk. The
+  // live WAL is checked but never quarantined: its records also live in
+  // the memtable, and rotation retires it naturally.
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    shard->cv.wait(shard_lock, [&] { return !shard->leader_active; });
+    if (shard->log_file == nullptr) continue;
+    shard->log_file->Flush().ok();
+    uint64_t number = shard->log_number;
+    IOTDB_RETURN_NOT_OK(
+        VerifyWalTail(shard->id, number, &rep->wal_dropped_bytes));
     // The WAL tail walk is scrub work too: count its bytes so the paced
     // scrub accounting (and the FDR injected-vs-detected math) stays honest.
-    auto wal_size = env_->FileSize(LogFileName(log_number_));
+    auto wal_size = env_->FileSize(WalFileName(shard->id, number));
     if (wal_size.ok()) {
       rep->bytes_checked += wal_size.ValueOrDie();
       if (obs::Enabled()) {
@@ -734,59 +893,227 @@ Status KVStore::Delete(const WriteOptions& options, const Slice& key) {
   return Write(options, &batch);
 }
 
+void KVStore::PublishSequence(SequenceNumber first, SequenceNumber last) {
+  std::lock_guard<std::mutex> lock(seq_publish_mu_);
+  SequenceNumber visible = visible_seq_.load(std::memory_order_relaxed);
+  if (first != visible + 1) {
+    // An earlier-sequenced block on another shard is still committing:
+    // buffer this one so visibility stays a contiguous sequence prefix.
+    pending_publish_[first] = last;
+    return;
+  }
+  SequenceNumber newest = last;
+  auto it = pending_publish_.begin();
+  while (it != pending_publish_.end() && it->first == newest + 1) {
+    newest = it->second;
+    it = pending_publish_.erase(it);
+  }
+  visible_seq_.store(newest, std::memory_order_release);
+}
+
+Status KVStore::BackgroundErrorSnapshot() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return background_error_;
+}
+
+void KVStore::SetBackgroundError(const Status& s) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (background_error_.ok()) background_error_ = s;
+}
+
+void KVStore::NotifyAllShards() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->cv.notify_all();
+  }
+}
+
+std::vector<std::unique_lock<std::mutex>> KVStore::FreezeAllShards() {
+  // Ascending index order (the only multi-shard acquisition in the store).
+  // Waiting out a leader is safe: an active leader finishes with only its
+  // own shard mutex (it clears leader_active before ever touching mu_),
+  // and no new leader can start on a shard whose mutex we already hold.
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    shard->cv.wait(shard_lock, [&] { return !shard->leader_active; });
+    guards.push_back(std::move(shard_lock));
+  }
+  return guards;
+}
+
 Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
+  const int nshards = static_cast<int>(shards_.size());
+  if (nshards == 1 || batch->Count() <= 1) {
+    int target = 0;
+    if (nshards > 1 && batch->Count() == 1) {
+      // Single-entry batch: route it whole, no split needed.
+      class FirstKey final : public WriteBatch::Handler {
+       public:
+        void Put(const Slice& key, const Slice&) override { Capture(key); }
+        void Delete(const Slice& key) override { Capture(key); }
+        std::string key;
+        bool has = false;
+
+       private:
+        void Capture(const Slice& k) {
+          if (!has) {
+            key = k.ToString();
+            has = true;
+          }
+        }
+      } first;
+      batch->Iterate(&first).ok();
+      if (first.has) target = ShardForKey(Slice(first.key));
+    }
+    return CommitToShard(shards_[target].get(), options, batch);
+  }
+
+  // Split by shard. Each per-shard sub-batch commits atomically on its own
+  // WAL partition; cross-shard visibility is published in sequence order
+  // as the sub-batches complete (see the header contract).
+  std::vector<WriteBatch> parts(static_cast<size_t>(nshards));
+  class Splitter final : public WriteBatch::Handler {
+   public:
+    Splitter(const KVStore* store, std::vector<WriteBatch>* parts)
+        : store_(store), parts_(parts) {}
+
+    void Put(const Slice& key, const Slice& value) override {
+      (*parts_)[store_->ShardForKey(key)].Put(key, value);
+    }
+
+    void Delete(const Slice& key) override {
+      (*parts_)[store_->ShardForKey(key)].Delete(key);
+    }
+
+   private:
+    const KVStore* const store_;
+    std::vector<WriteBatch>* const parts_;
+  } splitter(this, &parts);
+  IOTDB_RETURN_NOT_OK(batch->Iterate(&splitter));
+
+  int only_shard = -1;
+  int populated = 0;
+  for (int i = 0; i < nshards; ++i) {
+    if (parts[i].Count() > 0) {
+      only_shard = i;
+      populated++;
+    }
+  }
+  if (populated == 0) {
+    return CommitToShard(shards_[0].get(), options, batch);
+  }
+  if (populated == 1) {
+    // All keys landed on one shard: commit the caller's batch unsplit so
+    // its exact entry order (and full atomicity) is preserved.
+    return CommitToShard(shards_[only_shard].get(), options, batch);
+  }
+  Status status;
+  for (int i = 0; i < nshards && status.ok(); ++i) {
+    if (parts[i].Count() == 0) continue;
+    status = CommitToShard(shards_[i].get(), options, &parts[i]);
+  }
+  return status;
+}
+
+Status KVStore::PutMany(const WriteOptions& options,
+                        std::span<const KvEntry> entries) {
+  if (entries.empty()) return Status::OK();
+  const int nshards = static_cast<int>(shards_.size());
+  if (nshards == 1) {
+    WriteBatch batch;
+    for (const KvEntry& e : entries) batch.Put(e.key, e.value);
+    return CommitToShard(shards_[0].get(), options, &batch);
+  }
+  // One routing pass, one group commit per populated shard.
+  std::vector<WriteBatch> parts(static_cast<size_t>(nshards));
+  for (const KvEntry& e : entries) {
+    parts[ShardForKey(e.key)].Put(e.key, e.value);
+  }
+  Status status;
+  for (int i = 0; i < nshards && status.ok(); ++i) {
+    if (parts[i].Count() == 0) continue;
+    status = CommitToShard(shards_[i].get(), options, &parts[i]);
+  }
+  return status;
+}
+
+Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
+                              WriteBatch* batch) {
   WriterState w(batch, options.sync || options_.wal_sync);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  writers_.push_back(&w);
-  while (!w.done && &w != writers_.front()) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->writers.push_back(&w);
+  while (!w.done && &w != shard->writers.front()) {
     w.cv.wait(lock);
   }
   if (w.done) return w.status;
 
-  // This thread is the group-commit leader.
-  Status status = MakeRoomForWrite(&lock);
-  SequenceNumber last_sequence = last_sequence_;
+  // This thread is the shard's group-commit leader.
+  bool switched = false;
+  Status status = MakeRoomForWrite(shard, &lock, &switched);
   WriterState* last_writer = &w;
+  bool separated_commit = false;
   if (status.ok()) {
-    WriteBatch* updates = BuildBatchGroup(&last_writer);
-    updates->SetSequence(last_sequence + 1);
+    WriteBatch* updates = BuildBatchGroup(shard, &last_writer);
     const int batch_count = updates->Count();
-    last_sequence += batch_count;
+    if (batch_count > 0) {
+      // Sequence discipline: one fetch_add allocates the whole group's
+      // block — no store mutex anywhere on the hot path.
+      const SequenceNumber first_seq =
+          seq_alloc_.fetch_add(static_cast<uint64_t>(batch_count),
+                               std::memory_order_relaxed) +
+          1;
+      const SequenceNumber last_seq =
+          first_seq + static_cast<SequenceNumber>(batch_count) - 1;
+      updates->SetSequence(first_seq);
 
-    // The WAL append and memtable insert happen outside the lock: new
-    // writers queue behind last_writer, and only the leader touches the log.
-    // leader_active_ keeps FlushMemTable from switching memtables under us.
-    {
-      leader_active_ = true;
+      // The WAL append and memtable insert happen outside the shard mutex:
+      // new writers queue behind last_writer, and only the leader touches
+      // this shard's log. leader_active keeps memtable switches (and the
+      // GC freeze) from pulling the shard out from under us.
+      shard->leader_active = true;
       lock.unlock();
-      // Key-value separation: divert large values into the active vlog file
-      // and commit a batch of pointers instead. The vlog bytes are flushed
-      // (synced when the commit syncs) *before* the WAL record referencing
-      // them, so a replayable pointer always has its record on disk.
       WriteBatch* to_commit = updates;
       if (options_.value_separation) {
-        status = SeparateBatch(updates, &vlog_sep_batch_);
+        // Key-value separation: divert large values into the active vlog
+        // file and commit a batch of pointers instead. vlog_mu_ serialises
+        // leaders of different shards appending to the shared active file.
+        // The vlog bytes are flushed (synced when the commit syncs)
+        // *before* the WAL record referencing them, so a replayable
+        // pointer always has its record on disk.
+        std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+        if (vlog_writer_ == nullptr) {
+          // A previous roll failed to reopen the active file; retry.
+          status = OpenVlogWriterVlogHeld();
+        }
         if (status.ok()) {
-          to_commit = &vlog_sep_batch_;
+          status = SeparateBatch(updates, &shard->sep_batch);
+        }
+        if (status.ok()) {
+          to_commit = &shard->sep_batch;
           status = w.sync ? vlog_writer_->Sync() : vlog_writer_->Flush();
         }
+        if (status.ok()) separated_commit = true;
       }
       const bool observe = obs::Enabled();
       const bool tracing = obs::TraceBuffer::Enabled();
       uint64_t t0 = (observe || tracing) ? options_.clock->NowMicros() : 0;
       if (status.ok()) {
-        status = log_->AddRecord(to_commit->Contents());
+        status = shard->log->AddRecord(to_commit->Contents());
       }
       uint64_t t1 = observe ? options_.clock->NowMicros() : 0;
       if (status.ok() && w.sync) {
-        status = log_file_->Sync();
+        status = shard->log_file->Sync();
       } else if (status.ok()) {
-        status = log_file_->Flush();
+        status = shard->log_file->Flush();
       }
       if (observe || tracing) {
         // One commit, two sinks, zero extra clock reads: the histograms
-        // get the append/sync split, the trace ring the whole span.
+        // get the append/sync split, the trace ring the whole span. The
+        // shard id is the span arg so a trace viewer shows group commits
+        // on different shards overlapping.
         uint64_t t2 = options_.clock->NowMicros();
         if (observe) {
           obs_.wal_append_micros->Record(t1 - t0);
@@ -796,40 +1123,40 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
         }
         if (tracing) {
           obs::TraceBuffer::Record("storage.wal.group_commit", t0, t2 - t0,
-                                   "kvps",
-                                   static_cast<uint64_t>(batch_count));
+                                   "shard",
+                                   static_cast<uint64_t>(shard->id));
         }
       }
       if (status.ok()) {
-        status = to_commit->InsertInto(mem_);
+        status = to_commit->InsertInto(shard->mem);
       }
+      const uint64_t wal_bytes = to_commit->Contents().size();
+      // Publish even when the commit failed (the pre-shard store burned
+      // failed groups' sequences too): an unpublished hole would stall
+      // every later block's visibility forever.
+      PublishSequence(first_seq, last_seq);
       lock.lock();
-      leader_active_ = false;
-      background_work_finished_cv_.notify_all();
-    }
-    if (updates == &tmp_batch_) tmp_batch_.Clear();
-    if (options_.value_separation) {
-      vlog_sep_batch_.Clear();
+      shard->leader_active = false;
+      shard->cv.notify_all();
+
       if (status.ok()) {
-        // Roll (seal + reopen) under mu_ with the leader slot released; a
-        // failed reopen leaves no active writer and the next write's
-        // MakeRoomForWrite retries. The committed write itself succeeded.
-        Status roll = MaybeRollVlogLocked();
-        if (!roll.ok()) {
-          IOTDB_LOG(Error) << "vlog roll failed: " << roll.ToString();
+        shard->puts.Add(static_cast<uint64_t>(batch_count));
+        shard->wal_bytes.Add(wal_bytes);
+        counters_.puts.Add(static_cast<uint64_t>(batch_count));
+        if (observe) {
+          obs_.puts->Add(static_cast<uint64_t>(batch_count));
+          shard->obs_puts->Add(static_cast<uint64_t>(batch_count));
+          shard->obs_wal_bytes->Add(wal_bytes);
         }
       }
     }
-    last_sequence_ = last_sequence;
-    counters_.puts.Add(static_cast<uint64_t>(batch_count));
-    if (obs::Enabled()) {
-      obs_.puts->Add(static_cast<uint64_t>(batch_count));
-    }
+    if (updates == &shard->tmp_batch) shard->tmp_batch.Clear();
+    shard->sep_batch.Clear();
   }
 
   while (true) {
-    WriterState* ready = writers_.front();
-    writers_.pop_front();
+    WriterState* ready = shard->writers.front();
+    shard->writers.pop_front();
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
@@ -837,15 +1164,32 @@ Status KVStore::Write(const WriteOptions& options, WriteBatch* batch) {
     }
     if (ready == last_writer) break;
   }
-  if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+  if (!shard->writers.empty()) {
+    shard->writers.front()->cv.notify_one();
+  }
+  lock.unlock();
+
+  // Store-level follow-up that needs mu_ — never taken while a shard mutex
+  // is held: schedule the flush of a switched-out memtable, roll the vlog.
+  if (switched || separated_commit) {
+    std::lock_guard<std::mutex> store_lock(mu_);
+    if (separated_commit && status.ok()) {
+      // A failed reopen leaves no active writer and the next leader's
+      // commit retries. The committed write itself succeeded.
+      Status roll = MaybeRollVlogLocked();
+      if (!roll.ok()) {
+        IOTDB_LOG(Error) << "vlog roll failed: " << roll.ToString();
+      }
+    }
+    MaybeScheduleBackgroundWork();
   }
   return status;
 }
 
-WriteBatch* KVStore::BuildBatchGroup(WriterState** last_writer) {
-  assert(!writers_.empty());
-  WriterState* first = writers_.front();
+WriteBatch* KVStore::BuildBatchGroup(WriteShard* shard,
+                                     WriterState** last_writer) {
+  assert(!shard->writers.empty());
+  WriterState* first = shard->writers.front();
   WriteBatch* result = first->batch;
 
   size_t size = first->batch->ApproximateSize();
@@ -856,16 +1200,16 @@ WriteBatch* KVStore::BuildBatchGroup(WriterState** last_writer) {
   }
 
   *last_writer = first;
-  auto iter = writers_.begin();
+  auto iter = shard->writers.begin();
   ++iter;  // skip first
-  for (; iter != writers_.end(); ++iter) {
+  for (; iter != shard->writers.end(); ++iter) {
     WriterState* w = *iter;
     if (w->sync && !first->sync) break;  // don't escalate sync scope
     size += w->batch->ApproximateSize();
     if (size > max_size) break;
     if (result == first->batch) {
       // Switch to the scratch batch so we don't mutate the caller's.
-      result = &tmp_batch_;
+      result = &shard->tmp_batch;
       assert(result->Count() == 0);
       result->Append(*first->batch);
     }
@@ -875,60 +1219,65 @@ WriteBatch* KVStore::BuildBatchGroup(WriterState** last_writer) {
   return result;
 }
 
-Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
+Status KVStore::MakeRoomForWrite(WriteShard* shard,
+                                 std::unique_lock<std::mutex>* lock,
+                                 bool* switched) {
   uint64_t stall_start = 0;
-  if (options_.value_separation && vlog_writer_ == nullptr) {
-    // A previous roll failed to reopen the active vlog file; the leader
-    // needs one before it can separate values.
-    IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
-  }
   for (;;) {
-    if (!background_error_.ok()) {
-      return background_error_;
-    }
-    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+    Status err = BackgroundErrorSnapshot();
+    if (!err.ok()) return err;
+    if (shard->mem->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       break;
     }
-    if (imm_ != nullptr) {
+    if (shard->imm != nullptr) {
       // Previous memtable still flushing: stall.
       if (stall_start == 0) stall_start = options_.clock->NowMicros();
-      background_work_finished_cv_.wait(*lock);
+      shard->cv.wait(*lock);
       continue;
     }
-    if (levels_.NumFiles(0) >=
+    if (l0_files_.load(std::memory_order_acquire) >=
         static_cast<uint64_t>(options_.l0_stall_trigger)) {
       if (stall_start == 0) stall_start = options_.clock->NowMicros();
-      background_work_finished_cv_.wait(*lock);
+      shard->cv.wait(*lock);
       continue;
     }
-    IOTDB_RETURN_NOT_OK(SwitchMemTable());
-    MaybeScheduleBackgroundWork();
+    IOTDB_RETURN_NOT_OK(SwitchMemTable(shard));
+    // Scheduling the flush needs mu_; the leader does it after its commit,
+    // with the shard mutex released (see CommitToShard).
+    *switched = true;
   }
   if (stall_start != 0) {
     uint64_t stalled = options_.clock->NowMicros() - stall_start;
     counters_.write_stall_micros.Add(stalled);
+    shard->stall_micros.Add(stalled);
     if (obs::Enabled()) {
       obs_.write_stalls->Increment();
       obs_.write_stall_micros->Add(stalled);
+      shard->obs_stall_micros->Add(stalled);
     }
   }
   return Status::OK();
 }
 
-Status KVStore::SwitchMemTable() {
-  assert(imm_ == nullptr);
-  // Start a fresh WAL for the new memtable.
-  uint64_t new_log_number = next_file_number_++;
-  IOTDB_ASSIGN_OR_RETURN(auto new_log_file,
-                         env_->NewWritableFile(LogFileName(new_log_number)));
-  log_file_->Close();
-  log_file_ = std::move(new_log_file);
-  log_ = std::make_unique<log::Writer>(log_file_.get());
-  log_number_ = new_log_number;
+Status KVStore::SwitchMemTable(WriteShard* shard) {
+  assert(shard->imm == nullptr);
+  // Start a fresh WAL partition for the new memtable.
+  uint64_t new_log_number =
+      next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  IOTDB_ASSIGN_OR_RETURN(
+      auto new_log_file,
+      env_->NewWritableFile(WalFileName(shard->id, new_log_number)));
+  if (shard->log_file != nullptr) shard->log_file->Close();
+  shard->log_file = std::move(new_log_file);
+  shard->log = std::make_unique<log::Writer>(shard->log_file.get());
+  shard->log_number = new_log_number;
+  // wal_keep is NOT advanced here: the outgoing memtable's records live in
+  // the old partition until FlushShard installs their table.
 
-  imm_ = mem_;
-  mem_ = new MemTable(icmp_);
-  mem_->Ref();
+  shard->imm = shard->mem;
+  shard->has_imm.store(true, std::memory_order_release);
+  shard->mem = new MemTable(icmp_);
+  shard->mem->Ref();
   return Status::OK();
 }
 
@@ -938,7 +1287,14 @@ Status KVStore::SwitchMemTable() {
 
 void KVStore::MaybeScheduleBackgroundWork() {
   if (background_scheduled_ || shutting_down_) return;
-  if (imm_ == nullptr && !NeedsCompaction() && pending_scrub_.empty() &&
+  bool any_imm = false;
+  for (const auto& shard : shards_) {
+    if (shard->has_imm.load(std::memory_order_acquire)) {
+      any_imm = true;
+      break;
+    }
+  }
+  if (!any_imm && !NeedsCompaction() && pending_scrub_.empty() &&
       pending_vlog_scrub_.empty() && !NeedsVlogGcLocked()) {
     return;
   }
@@ -951,8 +1307,15 @@ void KVStore::BackgroundCall() {
   assert(background_scheduled_);
   if (!shutting_down_) {
     Status s;
-    if (imm_ != nullptr) {
-      s = CompactMemTable(&lock);
+    WriteShard* flush_shard = nullptr;
+    for (auto& shard : shards_) {
+      if (shard->has_imm.load(std::memory_order_acquire)) {
+        flush_shard = shard.get();
+        break;
+      }
+    }
+    if (flush_shard != nullptr) {
+      s = FlushShard(flush_shard, &lock);
     } else if (NeedsCompaction()) {
       s = RunCompaction(&lock);
     } else if (!pending_scrub_.empty()) {
@@ -979,24 +1342,41 @@ void KVStore::BackgroundCall() {
         if (report.quarantined_files > 0) {
           background_corruption_retries_ = 0;
         } else if (++background_corruption_retries_ > 3) {
-          background_error_ = s;
+          SetBackgroundError(s);
         }
       } else {
-        background_error_ = s;
+        SetBackgroundError(s);
       }
     } else {
       background_corruption_retries_ = 0;
     }
+    UpdateShardImbalanceGauge();
   }
   background_scheduled_ = false;
   MaybeScheduleBackgroundWork();
   background_work_finished_cv_.notify_all();
+  lock.unlock();
+  // Stall and error waiters park on their shard's condvar; the state they
+  // wait on (L0 counts, background errors, compaction progress) changes
+  // under mu_, so fan the wakeup out to every shard.
+  NotifyAllShards();
 }
 
-Status KVStore::CompactMemTable(std::unique_lock<std::mutex>* lock) {
-  assert(imm_ != nullptr);
-  MemTable* imm = imm_;
-  uint64_t file_number = next_file_number_++;
+Status KVStore::FlushShard(WriteShard* shard,
+                           std::unique_lock<std::mutex>* lock) {
+  MemTable* imm;
+  uint64_t wal_number;
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    imm = shard->imm;
+    // The current partition started exactly when this imm was switched
+    // out, so everything the imm holds lives in partitions before it. No
+    // switch can interleave with the flush: switching needs imm == null.
+    wal_number = shard->log_number;
+  }
+  if (imm == nullptr) return Status::OK();
+  uint64_t file_number =
+      next_file_number_.fetch_add(1, std::memory_order_relaxed);
 
   lock->unlock();
   obs::TraceSpan flush_span("storage.flush", nullptr, options_.clock);
@@ -1036,6 +1416,7 @@ Status KVStore::CompactMemTable(std::unique_lock<std::mutex>* lock) {
   if (meta != nullptr) {
     // Newest L0 file goes first.
     levels_.files[0].insert(levels_.files[0].begin(), meta);
+    SyncL0CountLocked();
     counters_.memtable_flushes.Increment();
     counters_.bytes_flushed.Add(meta->file_size);
     if (obs::Enabled()) {
@@ -1044,8 +1425,18 @@ Status KVStore::CompactMemTable(std::unique_lock<std::mutex>* lock) {
     }
     if (options_.background_scrub) pending_scrub_.push_back(meta->number);
   }
-  imm_->Unref();
-  imm_ = nullptr;
+  {
+    // Retire the imm and advance the WAL keep threshold in one critical
+    // section, after the table is installed in the version set: a manifest
+    // written by any mu_ holder sees either the old threshold (and keeps
+    // the flushed records' partition) or the new one plus the table.
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->imm = nullptr;
+    shard->has_imm.store(false, std::memory_order_release);
+    shard->wal_keep.store(wal_number, std::memory_order_release);
+    shard->cv.notify_all();
+  }
+  imm->Unref();
   IOTDB_RETURN_NOT_OK(WriteManifest());
   RemoveObsoleteFiles();
   return Status::OK();
@@ -1149,6 +1540,7 @@ Status KVStore::RunCompactionAtLevel(int level,
           return icmp_.Compare(Slice(a->smallest), Slice(b->smallest)) < 0;
         });
     dst.insert(pos, moved);
+    SyncL0CountLocked();
     counters_.compactions.Increment();
     if (obs::Enabled()) obs_.compactions->Increment();
     IOTDB_RETURN_NOT_OK(WriteManifest());
@@ -1253,10 +1645,7 @@ Status KVStore::RunCompactionAtLevel(int level,
       }
 
       if (builder == nullptr) {
-        {
-          std::lock_guard<std::mutex> number_lock(mu_);
-          out_number = next_file_number_++;
-        }
+        out_number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
         auto file_result = env_->NewWritableFile(TableFileName(out_number));
         if (!file_result.ok()) {
           s = file_result.status();
@@ -1306,6 +1695,7 @@ Status KVStore::RunCompactionAtLevel(int level,
     if (obs::Enabled()) obs_.compaction_bytes_written->Add(out->file_size);
     if (options_.background_scrub) pending_scrub_.push_back(out->number);
   }
+  SyncL0CountLocked();
   counters_.compactions.Increment();
   counters_.bytes_compacted.Add(bytes_read);
   if (obs::Enabled()) {
@@ -1326,7 +1716,7 @@ Status KVStore::RunCompactionAtLevel(int level,
 }
 
 SequenceNumber KVStore::SmallestSnapshot() const {
-  if (snapshots_.empty()) return last_sequence_;
+  if (snapshots_.empty()) return visible_seq_.load(std::memory_order_acquire);
   return *snapshots_.begin();
 }
 
@@ -1369,10 +1759,16 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
                                  const Slice& key) {
   MemTable* mem;
   MemTable* imm;
-  SequenceNumber snapshot;
   std::vector<std::shared_ptr<FileMeta>> candidates;
   counters_.gets.Increment();
   if (obs::Enabled()) obs_.gets->Increment();
+  // The key lives in exactly one shard's memtables; tables hold entries
+  // from every shard but sequence filtering keeps lookups correct.
+  WriteShard* shard = shards_[ShardForKey(key)].get();
+  // Snapshot before pinning any source: the visible prefix only grows, so
+  // a memtable pinned afterwards holds every entry <= snapshot it ever
+  // will (entries published later carry larger sequences and filter out).
+  const SequenceNumber snapshot = VisibleSequence();
   // Under separation, pin the read so GC defers physical deletion of vlog
   // files this lookup may still dereference into (local classes share the
   // enclosing member function's access).
@@ -1383,12 +1779,14 @@ Result<std::string> KVStore::Get(const ReadOptions& options,
     }
   } pin;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot = last_sequence_;
-    mem = mem_;
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    mem = shard->mem;
     mem->Ref();
-    imm = imm_;
+    imm = shard->imm;
     if (imm != nullptr) imm->Ref();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     for (int level = 0; level < kNumLevels; ++level) {
       for (const auto& f : levels_.files[level]) {
         if (FileOverlapsRange(icmp_, *f, key, key)) {
@@ -1459,14 +1857,19 @@ std::unique_ptr<Iterator> KVStore::NewInternalIterator(
     std::vector<std::shared_ptr<Table>>* pinned_tables,
     std::vector<MemTable*>* pinned_mems) {
   std::vector<std::unique_ptr<Iterator>> children;
-  // Newest sources first so the merger prefers them on ties.
-  children.push_back(mem_->NewIterator());
-  mem_->Ref();
-  pinned_mems->push_back(mem_);
-  if (imm_ != nullptr) {
-    children.push_back(imm_->NewIterator());
-    imm_->Ref();
-    pinned_mems->push_back(imm_);
+  // Newest sources first so the merger prefers them on ties. Every shard's
+  // memtables participate; the caller's snapshot (taken before this runs)
+  // filters out entries published after it.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    children.push_back(shard->mem->NewIterator());
+    shard->mem->Ref();
+    pinned_mems->push_back(shard->mem);
+    if (shard->imm != nullptr) {
+      children.push_back(shard->imm->NewIterator());
+      shard->imm->Ref();
+      pinned_mems->push_back(shard->imm);
+    }
   }
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : levels_.files[level]) {
@@ -1544,12 +1947,12 @@ class VlogDerefIterator final : public Iterator {
 std::unique_ptr<Iterator> KVStore::NewIterator(const ReadOptions& options) {
   std::vector<std::shared_ptr<Table>> pinned_tables;
   std::vector<MemTable*> pinned_mems;
-  SequenceNumber snapshot;
+  // Snapshot before pinning sources (see Get for the ordering argument).
+  const SequenceNumber snapshot = VisibleSequence();
   std::unique_ptr<Iterator> internal;
   bool separated = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot = last_sequence_;
     internal = NewInternalIterator(options, &pinned_tables, &pinned_mems);
     if (options_.value_separation) {
       open_readers_++;
@@ -1586,8 +1989,9 @@ Status KVStore::Scan(const ReadOptions& options, const Slice& start,
 
 SequenceNumber KVStore::GetSnapshot() {
   std::lock_guard<std::mutex> lock(mu_);
-  snapshots_.insert(last_sequence_);
-  return last_sequence_;
+  const SequenceNumber snapshot = VisibleSequence();
+  snapshots_.insert(snapshot);
+  return snapshot;
 }
 
 void KVStore::ReleaseSnapshot(SequenceNumber snapshot) {
@@ -1602,19 +2006,33 @@ void KVStore::ReleaseSnapshot(SequenceNumber snapshot) {
 // ---------------------------------------------------------------------------
 
 Status KVStore::FlushMemTable() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (mem_->NumEntries() == 0 && imm_ == nullptr) return Status::OK();
-  if (mem_->NumEntries() > 0) {
-    while (imm_ != nullptr || leader_active_) {
-      background_work_finished_cv_.wait(lock);
+  // Phase 1: switch every shard with data out to an immutable memtable.
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    if (shard->mem->NumEntries() == 0 && shard->imm == nullptr) continue;
+    if (shard->mem->NumEntries() > 0) {
+      while (shard->imm != nullptr || shard->leader_active) {
+        Status err = BackgroundErrorSnapshot();
+        if (!err.ok()) return err;
+        shard->cv.wait(shard_lock);
+      }
+      if (shard->mem->NumEntries() > 0) {
+        IOTDB_RETURN_NOT_OK(SwitchMemTable(shard.get()));
+      }
     }
-    IOTDB_RETURN_NOT_OK(SwitchMemTable());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     MaybeScheduleBackgroundWork();
   }
-  while (imm_ != nullptr && background_error_.ok()) {
-    background_work_finished_cv_.wait(lock);
+  // Phase 2: wait for the background thread to drain every imm.
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> shard_lock(shard->mu);
+    while (shard->imm != nullptr && BackgroundErrorSnapshot().ok()) {
+      shard->cv.wait(shard_lock);
+    }
   }
-  return background_error_;
+  return BackgroundErrorSnapshot();
 }
 
 Status KVStore::CompactAll() {
@@ -1634,12 +2052,22 @@ Status KVStore::CompactAll() {
   background_scheduled_ = false;
   MaybeScheduleBackgroundWork();
   background_work_finished_cv_.notify_all();
+  lock.unlock();
+  // L0 stall waiters park on their shard condvar; wake them now that the
+  // level counts changed.
+  NotifyAllShards();
   return s;
 }
 
 void KVStore::WaitForBackgroundWork() {
+  auto any_imm = [this] {
+    for (const auto& shard : shards_) {
+      if (shard->has_imm.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  };
   std::unique_lock<std::mutex> lock(mu_);
-  while (background_scheduled_ || imm_ != nullptr) {
+  while (background_scheduled_ || any_imm()) {
     background_work_finished_cv_.wait(lock);
   }
 }
@@ -1663,6 +2091,12 @@ KVStoreStats KVStore::GetStats() {
   stats.vlog_gc_reclaimed_bytes = counters_.vlog_gc_reclaimed_bytes.Value();
   stats.vlog_recovery_dropped_pointers =
       counters_.vlog_recovery_dropped_pointers.Value();
+  for (const auto& shard : shards_) {
+    stats.shard_puts.push_back(shard->puts.Value());
+    stats.shard_stall_micros.push_back(shard->stall_micros.Value());
+    stats.shard_wal_bytes.push_back(shard->wal_bytes.Value());
+  }
+  stats.shard_imbalance_pct = UpdateShardImbalanceGauge();
   {
     // The level file lists and vlog set still need the store mutex.
     std::lock_guard<std::mutex> lock(mu_);
@@ -1670,6 +2104,7 @@ KVStoreStats KVStore::GetStats() {
       stats.num_files[level] = static_cast<int>(levels_.NumFiles(level));
       stats.level_bytes[level] = levels_.LevelBytes(level);
     }
+    std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
     stats.vlog_files =
         vlog_files_.size() + (vlog_writer_ != nullptr ? 1 : 0);
   }
@@ -1678,6 +2113,28 @@ KVStoreStats KVStore::GetStats() {
     stats.block_cache_misses = block_cache_->misses();
   }
   return stats;
+}
+
+double KVStore::UpdateShardImbalanceGauge() {
+  // Imbalance = hottest shard's put count as a percentage of the per-shard
+  // mean; 100 means perfectly even, N*100 means one shard took everything.
+  uint64_t total = 0;
+  uint64_t max_puts = 0;
+  for (const auto& shard : shards_) {
+    uint64_t p = shard->puts.Value();
+    total += p;
+    max_puts = std::max(max_puts, p);
+  }
+  double pct = 100.0;
+  if (total > 0) {
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(shards_.size());
+    pct = 100.0 * static_cast<double>(max_puts) / mean;
+  }
+  if (obs::Enabled()) {
+    obs_.shard_imbalance->Set(static_cast<int64_t>(pct));
+  }
+  return pct;
 }
 
 uint64_t KVStore::CountKeysSlow() {
@@ -1738,13 +2195,21 @@ Status KVStore::RecoverVlogFiles() {
   std::sort(vlog_files_.begin(), vlog_files_.end(),
             [](const auto& a, const auto& b) { return a.number < b.number; });
   for (const auto& vf : vlog_files_) {
-    next_file_number_ = std::max(next_file_number_, vf.number + 1);
+    // Recovery is single-threaded; a plain max-update suffices.
+    if (vf.number + 1 > next_file_number_.load(std::memory_order_relaxed)) {
+      next_file_number_.store(vf.number + 1, std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }
 
 Status KVStore::OpenVlogWriterLocked() {
-  uint64_t number = next_file_number_++;
+  std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+  return OpenVlogWriterVlogHeld();
+}
+
+Status KVStore::OpenVlogWriterVlogHeld() {
+  uint64_t number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
   IOTDB_ASSIGN_OR_RETURN(auto file, env_->NewWritableFile(VlogName(number)));
   vlog_writer_ =
       std::make_unique<vlog::VlogWriter>(std::move(file), number, 0);
@@ -1752,12 +2217,18 @@ Status KVStore::OpenVlogWriterLocked() {
 }
 
 Status KVStore::SealActiveVlogLocked() {
-  // Caller must have quiesced the group-commit leader.
-  if (vlog_writer_ == nullptr) return Status::OK();
-  IOTDB_RETURN_NOT_OK(vlog_writer_->Sync());
-  uint64_t number = vlog_writer_->file_no();
-  uint64_t size = vlog_writer_->offset();
-  vlog_writer_.reset();
+  // Called with mu_ held. vlog_mu_ excludes concurrent leader appends for
+  // the duration of the seal.
+  uint64_t number;
+  uint64_t size;
+  {
+    std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+    if (vlog_writer_ == nullptr) return Status::OK();
+    IOTDB_RETURN_NOT_OK(vlog_writer_->Sync());
+    number = vlog_writer_->file_no();
+    size = vlog_writer_->offset();
+    vlog_writer_.reset();
+  }
   if (size == 0) {
     // Nothing was ever written: drop the empty file instead of sealing it.
     env_->RemoveFile(VlogName(number)).ok();
@@ -1769,9 +2240,12 @@ Status KVStore::SealActiveVlogLocked() {
 }
 
 Status KVStore::MaybeRollVlogLocked() {
-  if (vlog_writer_ == nullptr ||
-      vlog_writer_->offset() < options_.vlog_file_size) {
-    return Status::OK();
+  {
+    std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+    if (vlog_writer_ == nullptr ||
+        vlog_writer_->offset() < options_.vlog_file_size) {
+      return Status::OK();
+    }
   }
   IOTDB_RETURN_NOT_OK(SealActiveVlogLocked());
   IOTDB_RETURN_NOT_OK(OpenVlogWriterLocked());
@@ -1781,9 +2255,10 @@ Status KVStore::MaybeRollVlogLocked() {
 }
 
 Status KVStore::SeparateBatch(WriteBatch* updates, WriteBatch* out) {
-  // Leader-only, called outside mu_ with leader_active_ set. Values at or
-  // above min_value_size divert into the active vlog; everything the LSM
-  // stores carries a one-byte tag so inline values and pointers coexist.
+  // Leader-only, called under vlog_mu_ (which serialises appends to the
+  // shared active vlog across shard leaders). Values at or above
+  // min_value_size divert into the active vlog; everything the LSM stores
+  // carries a one-byte tag so inline values and pointers coexist.
   class Separator final : public WriteBatch::Handler {
    public:
     Separator(KVStore* store, WriteBatch* out) : store_(store), out_(out) {}
@@ -1874,15 +2349,19 @@ Status KVStore::MaterializeValue(const Slice& user_key, std::string* value) {
   return Status::OK();
 }
 
-Status KVStore::RawGetLocked(const Slice& user_key, SequenceNumber snapshot,
+Status KVStore::RawGetFrozen(const Slice& user_key, SequenceNumber snapshot,
                              bool* found, std::string* raw_value) {
   // Newest LSM version of `user_key`, tag byte and all — no vlog
-  // dereference. Used by GC to decide record liveness.
+  // dereference. Used by GC to decide record liveness. The caller holds
+  // mu_ plus every shard mutex (FreezeAllShards), so the key's shard
+  // memtables can be read without re-locking.
   *found = false;
+  WriteShard* shard = shards_[ShardForKey(user_key)].get();
   std::string value;
   Status s;
-  if (mem_->Get(user_key, snapshot, &value, &s) ||
-      (imm_ != nullptr && imm_->Get(user_key, snapshot, &value, &s))) {
+  if (shard->mem->Get(user_key, snapshot, &value, &s) ||
+      (shard->imm != nullptr &&
+       shard->imm->Get(user_key, snapshot, &value, &s))) {
     if (s.IsNotFound()) return Status::OK();  // newest version: tombstone
     IOTDB_RETURN_NOT_OK(s);
     *found = true;
@@ -1912,6 +2391,7 @@ bool KVStore::IsVlogLiveLocked(uint64_t number) const {
   for (const auto& vf : vlog_files_) {
     if (vf.number == number) return true;
   }
+  std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
   return vlog_writer_ != nullptr && vlog_writer_->file_no() == number;
 }
 
@@ -1920,6 +2400,7 @@ bool KVStore::IsLiveVlogFile(const std::string& path) {
   for (const auto& vf : vlog_files_) {
     if (VlogName(vf.number) == path) return true;
   }
+  std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
   return vlog_writer_ != nullptr && VlogName(vlog_writer_->file_no()) == path;
 }
 
@@ -1989,7 +2470,7 @@ Status KVStore::GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
       IOTDB_LOG(Error) << "vlog GC scan of file " << tail.number
                        << " failed: " << scan.ToString();
       if (scan.IsCorruption()) {
-        QuarantineVlogFileLocked(lock, tail.number, scan);
+        QuarantineVlogFileLocked(tail.number, scan);
       }
       status = scan;
       break;
@@ -1999,49 +2480,82 @@ Status KVStore::GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
       continue;
     }
 
-    // The re-put batch touches the active vlog, the WAL, and the memtable —
-    // all leader-owned; quiesce the leader before touching any of them.
-    while (leader_active_) {
-      background_work_finished_cv_.wait(*lock);
-    }
-    if (vlog_writer_ == nullptr) {
-      status = OpenVlogWriterLocked();
+    {
+      // The liveness check reads every shard's memtables and the re-put
+      // batch must commit against the exact state it checked: freeze all
+      // shards (quiesces every group-commit leader) for the duration.
+      std::vector<std::unique_lock<std::mutex>> frozen = FreezeAllShards();
+      std::vector<WriteBatch> rebatches(shards_.size());
+      uint64_t live_bytes = 0;
+      {
+        std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+        if (vlog_writer_ == nullptr) {
+          status = OpenVlogWriterVlogHeld();
+        }
+        if (status.ok()) {
+          // Allocated == visible while frozen (no in-flight commits), so
+          // reading at the allocation frontier sees every committed entry.
+          const SequenceNumber read_snapshot =
+              seq_alloc_.load(std::memory_order_acquire);
+          for (const auto& rec : records) {
+            // Live iff the newest LSM version of the key is exactly this
+            // pointer; overwritten and deleted keys fail the comparison.
+            std::string expect;
+            vlog::EncodeValuePointer(&expect, rec.ptr);
+            bool found = false;
+            std::string raw;
+            status =
+                RawGetFrozen(Slice(rec.key), read_snapshot, &found, &raw);
+            if (!status.ok()) break;
+            if (!found || raw != expect) continue;  // dead record
+            vlog::ValuePointer fresh;
+            status =
+                vlog_writer_->Add(Slice(rec.key), Slice(rec.value), &fresh);
+            if (!status.ok()) break;
+            std::string stored;
+            vlog::EncodeValuePointer(&stored, fresh);
+            rebatches[ShardForKey(Slice(rec.key))].Put(Slice(rec.key),
+                                                       Slice(stored));
+            live_bytes += rec.ptr.size;
+          }
+          bool any_live = false;
+          for (const auto& rb : rebatches) {
+            if (rb.Count() > 0) {
+              any_live = true;
+              break;
+            }
+          }
+          if (status.ok() && any_live) {
+            // Vlog bytes durable before any WAL record that references
+            // them.
+            status = vlog_writer_->Sync();
+          }
+        }
+      }
       if (!status.ok()) break;
-    }
 
-    WriteBatch rebatch;
-    uint64_t live_bytes = 0;
-    for (const auto& rec : records) {
-      // Live iff the newest LSM version of the key is exactly this pointer;
-      // overwritten and deleted keys fail the comparison.
-      std::string expect;
-      vlog::EncodeValuePointer(&expect, rec.ptr);
-      bool found = false;
-      std::string raw;
-      status = RawGetLocked(Slice(rec.key), last_sequence_, &found, &raw);
+      // Commit each shard's re-puts like a write: WAL record, then the
+      // memtable, visibility published in sequence order.
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        WriteBatch& rb = rebatches[i];
+        if (rb.Count() == 0) continue;
+        WriteShard* shard = shards_[i].get();
+        const uint64_t count = rb.Count();
+        const SequenceNumber first_seq =
+            seq_alloc_.fetch_add(count, std::memory_order_relaxed) + 1;
+        rb.SetSequence(first_seq);
+        status = shard->log->AddRecord(rb.Contents());
+        if (status.ok()) status = shard->log_file->Sync();
+        if (status.ok()) status = rb.InsertInto(shard->mem);
+        // Publish even on failure: the sequences are burned either way.
+        PublishSequence(first_seq, first_seq + count - 1);
+        if (!status.ok()) break;
+        rewritten += count;
+      }
       if (!status.ok()) break;
-      if (!found || raw != expect) continue;  // dead record
-      vlog::ValuePointer fresh;
-      status = vlog_writer_->Add(Slice(rec.key), Slice(rec.value), &fresh);
-      if (!status.ok()) break;
-      std::string stored;
-      vlog::EncodeValuePointer(&stored, fresh);
-      rebatch.Put(Slice(rec.key), Slice(stored));
-      live_bytes += rec.ptr.size;
-    }
-    if (!status.ok()) break;
 
-    if (rebatch.Count() > 0) {
-      // Commit like a write: vlog bytes durable before the WAL record that
-      // references them, then the memtable.
-      rebatch.SetSequence(last_sequence_ + 1);
-      status = vlog_writer_->Sync();
-      if (status.ok()) status = log_->AddRecord(rebatch.Contents());
-      if (status.ok()) status = log_file_->Sync();
-      if (status.ok()) status = rebatch.InsertInto(mem_);
-      if (!status.ok()) break;
-      last_sequence_ += rebatch.Count();
-      rewritten += static_cast<uint64_t>(rebatch.Count());
+      processed += tail.size;
+      reclaimed_total += tail.size - live_bytes;
     }
 
     // Retire the tail. Physical deletion waits for readers that may still
@@ -2054,8 +2568,6 @@ Status KVStore::GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
     vlog_pending_delete_.push_back(tail.number);
     vlog_reader_->Evict(tail.number);
     MaybeDeleteVlogFilesLocked();
-    processed += tail.size;
-    reclaimed_total += tail.size - live_bytes;
 
     Status roll = MaybeRollVlogLocked();
     if (!roll.ok()) {
@@ -2079,27 +2591,27 @@ Status KVStore::GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
 }
 
 void KVStore::QuarantineVlogFile(uint64_t number, const Status& cause) {
-  std::unique_lock<std::mutex> lock(mu_);
-  QuarantineVlogFileLocked(&lock, number, cause);
+  std::lock_guard<std::mutex> lock(mu_);
+  QuarantineVlogFileLocked(number, cause);
 }
 
-void KVStore::QuarantineVlogFileLocked(std::unique_lock<std::mutex>* lock,
-                                       uint64_t number, const Status& cause) {
-  if (vlog_writer_ != nullptr && vlog_writer_->file_no() == number) {
-    // Seal first so the writer never appends to a path that quarantine just
-    // renamed away. Sync is best effort — the file is being retired anyway.
-    while (leader_active_) {
-      background_work_finished_cv_.wait(*lock);
-    }
-    vlog_writer_->Sync().ok();
-    vlog_files_.push_back(
-        vlog::VlogFileInfo{number, vlog_writer_->offset(), 0});
-    vlog_writer_.reset();
-    Status reopen = OpenVlogWriterLocked();
-    if (!reopen.ok()) {
-      // MakeRoomForWrite retries the reopen on the next write.
-      IOTDB_LOG(Error) << "vlog reopen after quarantine failed: "
-                       << reopen.ToString();
+void KVStore::QuarantineVlogFileLocked(uint64_t number, const Status& cause) {
+  {
+    std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+    if (vlog_writer_ != nullptr && vlog_writer_->file_no() == number) {
+      // Seal first so no leader appends to a path that quarantine just
+      // renamed away (vlog_mu_ excludes appends for this scope). Sync is
+      // best effort — the file is being retired anyway.
+      vlog_writer_->Sync().ok();
+      vlog_files_.push_back(
+          vlog::VlogFileInfo{number, vlog_writer_->offset(), 0});
+      vlog_writer_.reset();
+      Status reopen = OpenVlogWriterVlogHeld();
+      if (!reopen.ok()) {
+        // The next leader's commit retries the reopen.
+        IOTDB_LOG(Error) << "vlog reopen after quarantine failed: "
+                         << reopen.ToString();
+      }
     }
   }
   bool was_live = false;
@@ -2122,7 +2634,7 @@ void KVStore::QuarantineVlogFileLocked(std::unique_lock<std::mutex>* lock,
 
 void KVStore::VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
                               ScrubReport* report) {
-  // Snapshot the sealed set plus the active file's quiesced prefix; the
+  // Snapshot the sealed set plus the active file's flushed prefix; the
   // walk itself runs without the lock (readers and writers proceed, new
   // appends land past each file's recorded limit).
   struct Target {
@@ -2133,12 +2645,12 @@ void KVStore::VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
   for (const auto& vf : vlog_files_) {
     targets.push_back({vf.number, vf.size});
   }
-  while (leader_active_) {
-    background_work_finished_cv_.wait(*lock);
-  }
-  if (vlog_writer_ != nullptr && vlog_writer_->offset() > 0) {
-    if (vlog_writer_->Flush().ok()) {
-      targets.push_back({vlog_writer_->file_no(), vlog_writer_->offset()});
+  {
+    std::lock_guard<std::mutex> vlog_lock(vlog_mu_);
+    if (vlog_writer_ != nullptr && vlog_writer_->offset() > 0) {
+      if (vlog_writer_->Flush().ok()) {
+        targets.push_back({vlog_writer_->file_no(), vlog_writer_->offset()});
+      }
     }
   }
 
@@ -2160,7 +2672,7 @@ void KVStore::VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
 
   for (const auto& [target, cause] : corrupt) {
     if (!IsVlogLiveLocked(target.number)) continue;  // raced GC/quarantine
-    QuarantineVlogFileLocked(lock, target.number, cause);
+    QuarantineVlogFileLocked(target.number, cause);
     report->quarantined_files++;
   }
 }
@@ -2192,7 +2704,7 @@ Status KVStore::ScrubOneVlogQueued(std::unique_lock<std::mutex>* lock) {
 
   RecordVlogScrub(bytes, !s.ok());
   if (!s.ok() && IsVlogLiveLocked(number)) {
-    QuarantineVlogFileLocked(lock, number, s);
+    QuarantineVlogFileLocked(number, s);
   }
   return Status::OK();  // a corrupt finding is healed, not a background error
 }

@@ -1,12 +1,15 @@
 #ifndef IOTDB_STORAGE_KVSTORE_H_
 #define IOTDB_STORAGE_KVSTORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +61,12 @@ struct KVStoreStats {
   uint64_t vlog_dereferences = 0;
   uint64_t vlog_gc_reclaimed_bytes = 0;
   uint64_t vlog_recovery_dropped_pointers = 0;
+  // Sharded write path: per-shard ingest breakdown plus the skew gauge
+  // (max shard puts / mean shard puts, as a percentage; 100 = balanced).
+  std::vector<uint64_t> shard_puts;
+  std::vector<uint64_t> shard_stall_micros;
+  std::vector<uint64_t> shard_wal_bytes;
+  double shard_imbalance_pct = 100.0;
 };
 
 /// Outcome of one KVStore::VerifyIntegrity pass.
@@ -66,13 +75,30 @@ struct ScrubReport {
   uint64_t bytes_checked = 0;
   uint64_t corrupt_files = 0;      // failed checksum verification
   uint64_t quarantined_files = 0;  // removed from the live set & moved aside
-  uint64_t wal_dropped_bytes = 0;  // corrupt bytes found in the live WAL tail
+  uint64_t wal_dropped_bytes = 0;  // corrupt bytes found in live WAL tails
   std::vector<std::string> corrupt_paths;
+};
+
+/// One key/value pair of a vectorized ingest (KVStore::PutMany). Slices are
+/// not owned; they must stay valid for the duration of the call.
+struct KvEntry {
+  Slice key;
+  Slice value;
 };
 
 /// A single-node LSM key-value store (the HBase region-server storage
 /// analogue): WAL + memtable + leveled SSTables. Thread-safe: any number of
 /// concurrent readers and writers.
+///
+/// The write path is sharded (Options::write_shards): keys hash-route to a
+/// per-shard memtable with its own WAL partition and group-commit leader,
+/// so commits on different shards proceed in parallel. Sequence numbers are
+/// block-allocated from one global atomic and published in sequence order:
+/// every snapshot is an exact prefix of the global sequence history, so
+/// snapshot/iterator semantics are unchanged from the single-shard store. A
+/// write to shard A that commits while an earlier-sequenced write to shard
+/// B is still in flight becomes visible only once B's block publishes
+/// (visibility is monotone in sequence order, never reordered).
 ///
 /// Typical use:
 ///   auto store = KVStore::Open(options, "/data/gw").MoveValueUnsafe();
@@ -98,9 +124,20 @@ class KVStore {
              const Slice& value);
   Status Delete(const WriteOptions& options, const Slice& key);
 
-  /// Applies a batch atomically. Concurrent callers are group-committed:
-  /// one leader writes a combined WAL record for all queued batches.
+  /// Applies a batch. Concurrent callers routed to the same shard are
+  /// group-committed: one leader writes a combined WAL record for all
+  /// queued batches. A batch spanning multiple shards is split and
+  /// committed per shard; each per-shard sub-batch is atomic and durable
+  /// on its own WAL partition, but cross-shard visibility is not atomic —
+  /// sub-batches become visible in sequence order as they publish.
   Status Write(const WriteOptions& options, WriteBatch* batch);
+
+  /// Vectorized ingest: routes `entries` to their write shards in one pass
+  /// and group-commits one sub-batch per shard. The fast path for drivers
+  /// handing the store arrays of 1 KB kvps. Same cross-shard visibility
+  /// contract as Write().
+  Status PutMany(const WriteOptions& options,
+                 std::span<const KvEntry> entries);
 
   /// Point lookup. NotFound status when absent.
   Result<std::string> Get(const ReadOptions& options, const Slice& key);
@@ -120,19 +157,19 @@ class KVStore {
   SequenceNumber GetSnapshot();
   void ReleaseSnapshot(SequenceNumber snapshot);
 
-  /// Forces a memtable flush and waits for it to complete.
+  /// Forces a flush of every shard's memtable and waits for completion.
   Status FlushMemTable();
 
   /// Compacts everything down to the last populated level and waits.
   Status CompactAll();
 
   /// Scrub: checksum-walks every live SSTable (footer, index, filter, and
-  /// every data block, bypassing the block cache) plus the live WAL tail.
-  /// Files that fail verification are atomically quarantined — renamed to
-  /// `<name>.quarantined`, dropped from the version set, and reported via
-  /// Options::corruption_reporter — so they never serve another read.
-  /// Returns non-OK only when the walk itself could not run; corruption
-  /// found (and healed by quarantine) is described by `report`.
+  /// every data block, bypassing the block cache) plus every shard's live
+  /// WAL tail. Files that fail verification are atomically quarantined —
+  /// renamed to `<name>.quarantined`, dropped from the version set, and
+  /// reported via Options::corruption_reporter — so they never serve
+  /// another read. Returns non-OK only when the walk itself could not run;
+  /// corruption found (and healed by quarantine) is described by `report`.
   Status VerifyIntegrity(ScrubReport* report = nullptr);
 
   /// True iff `path` names a table file currently in the version set.
@@ -168,6 +205,14 @@ class KVStore {
 
   const std::string& name() const { return dbname_; }
 
+  /// Resolved shard count (Options::write_shards after auto-detection).
+  int num_write_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard a key hash-routes to; stable across restarts for a fixed
+  /// shard count (recovery re-routes by the current hash, so the count may
+  /// change between runs).
+  int ShardForKey(const Slice& key) const;
+
  private:
   friend class VlogDerefIterator;
 
@@ -175,31 +220,83 @@ class KVStore {
 
   struct WriterState;
 
-  std::string LogFileName(uint64_t number) const;
+  /// One independent write shard: its own memtable pair, WAL partition and
+  /// group-commit queue, all guarded by the shard mutex `mu`. Lock order:
+  /// the store mutex `mu_` before any shard `mu`, shard mutexes in
+  /// ascending index order, `vlog_mu_` / `error_mu_` / `seq_publish_mu_`
+  /// as leaves (never holding a shard mutex while acquiring `mu_`).
+  struct WriteShard {
+    int id = 0;
+
+    std::mutex mu;
+    /// Signals leader handoff, imm drain and stall release for this shard.
+    std::condition_variable cv;
+
+    MemTable* mem = nullptr;  // guarded by mu for pointer swap
+    MemTable* imm = nullptr;  // immutable memtable being flushed
+    /// Mirror of (imm != nullptr) readable without the shard mutex (the
+    /// background dispatcher and manifest writer hold mu_ only).
+    std::atomic<bool> has_imm{false};
+
+    std::unique_ptr<WritableFile> log_file;
+    std::unique_ptr<log::Writer> log;
+    uint64_t log_number = 0;  // guarded by mu
+    /// Oldest WAL partition number still needed for recovery: the active
+    /// WAL's number once the previous memtable flushed, the retired WAL's
+    /// number while an imm is pending. Advanced only at flush completion
+    /// (under mu_ *and* mu), read by the manifest writer under mu_ alone.
+    std::atomic<uint64_t> wal_keep{0};
+
+    std::deque<WriterState*> writers;  // guarded by mu
+    WriteBatch tmp_batch;              // leader-only group scratch
+    WriteBatch sep_batch;              // leader-only separation scratch
+    /// True while this shard's leader performs WAL/memtable work outside
+    /// the shard mutex; memtable switches and freezes must wait on it.
+    bool leader_active = false;  // guarded by mu
+
+    /// Per-shard exact counters (always incremented) + registry mirrors
+    /// (storage.shard<i>.*, gated on the obs enable switch).
+    obs::Counter puts;
+    obs::Counter stall_micros;
+    obs::Counter wal_bytes;
+    obs::Counter* obs_puts = nullptr;
+    obs::Counter* obs_stall_micros = nullptr;
+    obs::Counter* obs_wal_bytes = nullptr;
+  };
+
+  std::string LogFileName(uint64_t number) const;  // legacy single-WAL name
+  std::string WalFileName(int shard, uint64_t number) const;
   std::string TableFileName(uint64_t number) const;
   std::string VlogName(uint64_t number) const;
   std::string ManifestFileName() const;
 
   Status Recover();
-  Status ReplayLogFile(uint64_t number);
+  Status ReadLogRecords(const std::string& path,
+                        std::vector<std::pair<SequenceNumber, std::string>>*
+                            records,
+                        uint64_t* dropped_bytes);
+  Status ReplayBatch(const Slice& contents, uint64_t* dropped_pointers,
+                     SequenceNumber* max_sequence);
   Status OpenTable(uint64_t number, std::shared_ptr<FileMeta>* meta);
 
-  // Key-value separation (all Locked variants require mu_).
+  // Key-value separation. Locked variants require mu_; the vlog writer
+  // pointer and its appends are guarded by vlog_mu_ (taken by shard
+  // leaders with no other lock held, or nested under mu_).
   Status RecoverVlogFiles();
-  Status OpenVlogWriterLocked();
+  Status OpenVlogWriterLocked();    // mu_ held; takes vlog_mu_ inside
+  Status OpenVlogWriterVlogHeld();  // vlog_mu_ held
   Status SealActiveVlogLocked();
   Status MaybeRollVlogLocked();
-  Status SeparateBatch(WriteBatch* updates, WriteBatch* out);  // leader only
+  Status SeparateBatch(WriteBatch* updates, WriteBatch* out);  // vlog_mu_
   Status MaterializeValue(const Slice& user_key, std::string* value);
-  Status RawGetLocked(const Slice& user_key, SequenceNumber snapshot,
+  Status RawGetFrozen(const Slice& user_key, SequenceNumber snapshot,
                       bool* found, std::string* raw_value);
   bool IsVlogLiveLocked(uint64_t number) const;
   bool NeedsVlogGcLocked() const;
   Status GarbageCollectLocked(std::unique_lock<std::mutex>* lock,
                               uint64_t chunk_size, uint64_t* reclaimed_bytes);
   void QuarantineVlogFile(uint64_t number, const Status& cause);
-  void QuarantineVlogFileLocked(std::unique_lock<std::mutex>* lock,
-                                uint64_t number, const Status& cause);
+  void QuarantineVlogFileLocked(uint64_t number, const Status& cause);
   void VerifyVlogFiles(std::unique_lock<std::mutex>* lock,
                        ScrubReport* report);
   Status ScrubOneVlogQueued(std::unique_lock<std::mutex>* lock);
@@ -207,15 +304,37 @@ class KVStore {
   void MaybeDeleteVlogFilesLocked();
   void OnIteratorClosed();
 
-  // Write path helpers (mu_ held).
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
-  WriteBatch* BuildBatchGroup(WriterState** last_writer);
-  Status SwitchMemTable();
+  // Write path helpers.
+  Status CommitToShard(WriteShard* shard, const WriteOptions& options,
+                       WriteBatch* batch);
+  Status MakeRoomForWrite(WriteShard* shard,
+                          std::unique_lock<std::mutex>* lock,
+                          bool* switched);  // shard->mu held
+  WriteBatch* BuildBatchGroup(WriteShard* shard,
+                              WriterState** last_writer);  // shard->mu held
+  Status SwitchMemTable(WriteShard* shard);                // shard->mu held
+
+  /// Publishes [first, last] as visible. Blocks arrive out of order across
+  /// shards; visibility advances only over a contiguous sequence prefix.
+  void PublishSequence(SequenceNumber first, SequenceNumber last);
+  SequenceNumber VisibleSequence() const {
+    return visible_seq_.load(std::memory_order_acquire);
+  }
+  Status BackgroundErrorSnapshot();
+  void SetBackgroundError(const Status& s);
+
+  /// Wakes stall/imm waiters on every shard (state they wait on — L0
+  /// counts, background errors — changes under mu_, not the shard mutex).
+  void NotifyAllShards();
+  /// Locks every shard mutex (ascending) with all leaders quiesced; used
+  /// by vlog GC to freeze the write plane. Unlocks on destruction of the
+  /// returned guards.
+  std::vector<std::unique_lock<std::mutex>> FreezeAllShards();
 
   // Background work.
-  void MaybeScheduleBackgroundWork();
+  void MaybeScheduleBackgroundWork();  // mu_ held
   void BackgroundCall();
-  Status CompactMemTable(std::unique_lock<std::mutex>* lock);
+  Status FlushShard(WriteShard* shard, std::unique_lock<std::mutex>* lock);
   bool NeedsCompaction() const;
   Status RunCompaction(std::unique_lock<std::mutex>* lock);
   Status RunCompactionAtLevel(int level, std::unique_lock<std::mutex>* lock);
@@ -224,6 +343,7 @@ class KVStore {
   Status WriteManifest();  // mu_ held
   Status LoadManifest(bool* found);
   void RemoveObsoleteFiles();  // mu_ held
+  void SyncL0CountLocked();    // mu_ held; refreshes the l0_files_ mirror
 
   // Scrub & quarantine (see VerifyIntegrity).
   void QuarantinePath(const std::string& path, const Status& cause);
@@ -231,9 +351,10 @@ class KVStore {
                             const Status& cause);  // mu_ held
   void QuarantineCorruptTables(std::unique_lock<std::mutex>* lock,
                                ScrubReport* report);
-  Status VerifyWalTailLocked(uint64_t* dropped_bytes);  // mu_ held
+  Status VerifyWalTail(int shard, uint64_t number, uint64_t* dropped_bytes);
   Status ScrubOneQueued(std::unique_lock<std::mutex>* lock);
   void RecordTableScrub(uint64_t bytes, bool corrupt);
+  double UpdateShardImbalanceGauge();
 
   SequenceNumber SmallestSnapshot() const;  // mu_ held
 
@@ -242,7 +363,8 @@ class KVStore {
       const Slice& end_user_key) const;  // mu_ held
 
   // Builds an internal-key iterator over the whole store; out_pinned gets
-  // shared_ptrs that must outlive the iterator.
+  // shared_ptrs that must outlive the iterator. mu_ held; takes each
+  // shard mutex briefly.
   std::unique_ptr<Iterator> NewInternalIterator(
       const ReadOptions& options,
       std::vector<std::shared_ptr<Table>>* pinned_tables,
@@ -257,20 +379,21 @@ class KVStore {
   std::mutex mu_;
   std::condition_variable background_work_finished_cv_;
 
-  MemTable* mem_ = nullptr;  // guarded by mu_ for pointer swap
-  MemTable* imm_ = nullptr;  // immutable memtable being flushed
-
-  std::unique_ptr<WritableFile> log_file_;
-  std::unique_ptr<log::Writer> log_;
-  uint64_t log_number_ = 0;
+  /// The write shards. Sized at construction; never resized afterwards, so
+  /// the vector itself is safe to read without a lock.
+  std::vector<std::unique_ptr<WriteShard>> shards_;
 
   LevelState levels_;
+  /// Mirror of levels_.NumFiles(0), readable by shard leaders that must
+  /// not take mu_ while holding their shard mutex (L0 write stalls).
+  std::atomic<uint64_t> l0_files_{0};
 
-  // Key-value separation state. The writer is touched only by the
-  // group-commit leader (outside mu_, leader_active_ set) or under mu_ with
-  // the leader quiesced (GC, seal/roll, scrub of the active file); those two
-  // regimes are mutually exclusive. vlog_files_ holds sealed files, oldest
-  // (GC tail) first, and is persisted in the manifest.
+  // Key-value separation state. The active writer (pointer + appends) is
+  // guarded by vlog_mu_: shard leaders take it with no other lock held;
+  // maintenance paths (seal/roll, GC, scrub, quarantine) take it nested
+  // under mu_. vlog_files_ holds sealed files, oldest (GC tail) first, and
+  // is persisted in the manifest (guarded by mu_).
+  mutable std::mutex vlog_mu_;
   std::unique_ptr<vlog::VlogReader> vlog_reader_;
   std::unique_ptr<vlog::VlogWriter> vlog_writer_;
   std::vector<vlog::VlogFileInfo> vlog_files_;
@@ -281,13 +404,24 @@ class KVStore {
   std::vector<uint64_t> vlog_pending_delete_;
   int open_readers_ = 0;
   bool vlog_gc_running_ = false;
-  WriteBatch vlog_sep_batch_;  // leader-only scratch for separated batches
 
-  uint64_t next_file_number_ = 1;
-  SequenceNumber last_sequence_ = 0;
+  std::atomic<uint64_t> next_file_number_{1};
 
-  std::deque<WriterState*> writers_;
-  WriteBatch tmp_batch_;
+  /// Sequence discipline: one fetch_add per batch allocates a contiguous
+  /// block from seq_alloc_; visible_seq_ publishes the longest contiguous
+  /// prefix of committed blocks (pending_publish_ buffers out-of-order
+  /// completions). Readers snapshot visible_seq_ without any lock.
+  std::atomic<SequenceNumber> seq_alloc_{0};
+  std::atomic<SequenceNumber> visible_seq_{0};
+  std::mutex seq_publish_mu_;
+  std::map<SequenceNumber, SequenceNumber> pending_publish_;
+
+  /// Legacy replay threshold for pre-shard `<number>.log` WALs (manifest
+  /// `log_number`); new WAL partitions carry their shard in the file name.
+  uint64_t log_number_ = 0;
+  /// Per-shard WAL keep thresholds recovered from the manifest (indexed by
+  /// the shard id in the file name, which may exceed the current count).
+  std::map<int, uint64_t> recovered_wal_keeps_;
 
   std::multiset<SequenceNumber> snapshots_;
 
@@ -297,9 +431,7 @@ class KVStore {
   // File numbers of freshly installed tables awaiting a background scrub
   // (Options::background_scrub); one is verified per idle background cycle.
   std::deque<uint64_t> pending_scrub_;
-  // True while a group-commit leader performs WAL/memtable work outside the
-  // lock; memtable switches by other threads must wait on it.
-  bool leader_active_ = false;
+  std::mutex error_mu_;  // leaf: leaders read the error under shard->mu
   Status background_error_;
   // Consecutive background corruption failures where every live table still
   // verified clean (the corrupt input was already quarantined, or the rot
@@ -362,6 +494,7 @@ class KVStore {
     obs::Counter* vlog_gc_reclaimed_bytes;
     obs::Counter* vlog_gc_rewritten_records;
     obs::Counter* vlog_recovery_dropped_pointers;
+    obs::Gauge* shard_imbalance;
   };
   ObsInstruments obs_;
 };

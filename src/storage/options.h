@@ -51,6 +51,15 @@ struct Options {
   /// batch is syncing, concurrent writers enqueue and commit together.
   uint64_t wal_group_commit_window_micros = 200;
 
+  /// Number of independent write shards. Keys hash-route to a per-shard
+  /// memtable with its own WAL partition (`wal-<shard>-<num>.log`) and its
+  /// own group-commit leader, so commits on different shards overlap
+  /// instead of serialising on one mutex. Sequence numbers stay globally
+  /// unique (block-allocated from one atomic) and visibility is published
+  /// in sequence order, so snapshots and iterators keep their semantics.
+  /// 0 = auto (hardware concurrency). Clamped to [1, 64].
+  int write_shards = 0;
+
   /// If false, Put/Write return once the WAL record is buffered (HBase
   /// deferred log flush). If true, every commit syncs.
   bool wal_sync = false;

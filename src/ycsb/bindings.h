@@ -2,6 +2,8 @@
 #define IOTDB_YCSB_BINDINGS_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "storage/kvstore.h"
@@ -49,6 +51,20 @@ class KVStoreDB final : public DB {
 
   Status Insert(const Slice& key, const Slice& value) override {
     return store_->Put(storage::WriteOptions(), key, value);
+  }
+
+  Status InsertBatch(const std::vector<std::pair<std::string, std::string>>&
+                         kvps) override {
+    // Vectorized ingest: one PutMany call routes the whole buffer to the
+    // store's write shards instead of committing row by row.
+    std::vector<storage::KvEntry> entries;
+    entries.reserve(kvps.size());
+    for (const auto& [key, value] : kvps) {
+      entries.push_back({Slice(key), Slice(value)});
+    }
+    return store_->PutMany(
+        storage::WriteOptions(),
+        std::span<const storage::KvEntry>(entries.data(), entries.size()));
   }
 
   Result<std::string> Read(const Slice& key) override {

@@ -89,14 +89,19 @@ TEST(SamplerTest, RingWraparoundDropsOldestAndCounts) {
   Timeline timeline = sampler.TakeTimeline();
   ASSERT_EQ(timeline.intervals.size(), 4u);
   EXPECT_EQ(timeline.dropped_intervals, 6u);
-  // The four *newest* intervals survive: deltas 7, 8, 9, 10.
-  for (size_t i = 0; i < 4; ++i) {
+  // Overflow merges at the old end: the oldest interval absorbed deltas
+  // 1..7, the three newest keep per-cadence granularity.
+  EXPECT_EQ(timeline.intervals[0].CounterDelta("test.sampler.wrap.kvps"),
+            1u + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_DOUBLE_EQ(timeline.intervals[0].DurationSeconds(), 7.0);
+  for (size_t i = 1; i < 4; ++i) {
     EXPECT_EQ(timeline.intervals[i].CounterDelta("test.sampler.wrap.kvps"),
               7 + i);
   }
-  // Telescoping still holds from the first retained interval.
+  // Merging is lossless for totals: the exact-sum property holds over the
+  // whole run even after wraparound.
   EXPECT_EQ(timeline.CounterTotal("test.sampler.wrap.kvps"),
-            7u + 8u + 9u + 10u);
+            1u + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10);
 }
 
 TEST(SamplerTest, HistogramDeltaAcrossWrapIsPerInterval) {
@@ -118,13 +123,20 @@ TEST(SamplerTest, HistogramDeltaAcrossWrapIsPerInterval) {
   Timeline timeline = sampler.TakeTimeline();
   ASSERT_EQ(timeline.intervals.size(), 2u);
   EXPECT_EQ(timeline.dropped_intervals, 3u);
-  // Each retained interval saw exactly one recording — the one made during
-  // it, not the cumulative count.
-  for (const TimelineInterval& interval : timeline.intervals) {
-    auto it = interval.delta.histograms.find("test.sampler.wrap.lat");
-    ASSERT_NE(it, interval.delta.histograms.end());
-    EXPECT_EQ(it->second.count, 1u);
-  }
+  // Histogram deltas are per-interval, not cumulative: the merged oldest
+  // interval aggregates the four recordings made during it (count, sum
+  // and bucket counts add; min/max span the merge), the newest keeps the
+  // single recording made during it.
+  auto oldest =
+      timeline.intervals[0].delta.histograms.find("test.sampler.wrap.lat");
+  ASSERT_NE(oldest, timeline.intervals[0].delta.histograms.end());
+  EXPECT_EQ(oldest->second.count, 4u);
+  EXPECT_EQ(oldest->second.sum, 1000u + 2000 + 3000 + 4000);
+  auto newest =
+      timeline.intervals[1].delta.histograms.find("test.sampler.wrap.lat");
+  ASSERT_NE(newest, timeline.intervals[1].delta.histograms.end());
+  EXPECT_EQ(newest->second.count, 1u);
+  EXPECT_EQ(newest->second.sum, 5000u);
 }
 
 TEST(SamplerTest, StopFlushesFinalPartialInterval) {

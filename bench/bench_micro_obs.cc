@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -33,6 +34,17 @@ constexpr double kDisabledTraceBudgetNs = 10.0;
 // regression that adds a lock or a syscall to the hot path, not to measure
 // the exact store cost.
 constexpr double kEnabledTraceBudgetNs = 200.0;
+
+// Extra cost of recording a span WITH a causal TraceContext over a plain
+// record: three more relaxed slot stores. Catches a regression that adds
+// allocation or id hashing to context propagation.
+constexpr double kContextOverheadBudgetNs = 25.0;
+
+// Breadcrumb + stage attribution with the registry disabled
+// (IOTDB_OBS_DISABLED): the ScopedOpBreadcrumb constructor is one branch
+// and AddStageMicros one TLS load + branch — the disabled path must stay
+// free, so it shares the disabled-tracing budget.
+constexpr double kDisabledBreadcrumbBudgetNs = kDisabledTraceBudgetNs;
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -101,6 +113,12 @@ int main() {
   double trace_on_ns = MinNsPerOp([&](uint64_t i) {
     iotdb::obs::TraceBuffer::Record("bench.span", i, 1, "i", i);
   });
+  // Same record carrying a causal context: the marginal cost of the three
+  // id stores is the price every traced hop on the write path pays.
+  const iotdb::obs::TraceContext bench_ctx = iotdb::obs::TraceContext::Mint();
+  double trace_ctx_ns = MinNsPerOp([&](uint64_t i) {
+    iotdb::obs::TraceBuffer::Record("bench.span", i, 1, bench_ctx, "i", i);
+  });
   uint64_t traced =
       iotdb::obs::TraceBuffer::Snapshot().size() +
       iotdb::obs::TraceBuffer::DroppedSpans();
@@ -108,6 +126,23 @@ int main() {
   printf("  %-44s %8.2f ns/op (budget %.0f)\n",
          "TraceBuffer::Record (tracing enabled)", trace_on_ns,
          kEnabledTraceBudgetNs);
+  double ctx_overhead_ns =
+      trace_ctx_ns > trace_on_ns ? trace_ctx_ns - trace_on_ns : 0.0;
+  printf("  %-44s %8.2f ns/op (+%.2f over plain, budget +%.0f)\n",
+         "TraceBuffer::Record (with context)", trace_ctx_ns,
+         ctx_overhead_ns, kContextOverheadBudgetNs);
+
+  // Stage attribution with observability disabled: breadcrumb install and
+  // AddStageMicros must cost a branch, nothing more.
+  iotdb::obs::SetEnabled(false);
+  double bc_disabled_ns = MinNsPerOp([&](uint64_t i) {
+    iotdb::obs::ScopedOpBreadcrumb bc("bench.op", 0, 1);
+    iotdb::obs::AddStageMicros(iotdb::obs::Stage::kVlog, i);
+  });
+  iotdb::obs::SetEnabled(true);
+  printf("  %-44s %8.2f ns/op (budget %.0f)\n",
+         "breadcrumb + stage (registry disabled)", bc_disabled_ns,
+         kDisabledBreadcrumbBudgetNs);
 
   // Sanity: the side effects above really happened.
   if (counter.Value() == 0 || hist.TakeSnapshot().count == 0 ||
@@ -136,6 +171,20 @@ int main() {
             "\nFAIL: enabled span record %.2f ns/op exceeds the %.0f ns "
             "budget\n",
             trace_on_ns, kEnabledTraceBudgetNs);
+    failed = true;
+  }
+  if (ctx_overhead_ns >= kContextOverheadBudgetNs) {
+    fprintf(stderr,
+            "\nFAIL: context propagation adds %.2f ns/op over a plain span "
+            "record, exceeding the %.0f ns budget\n",
+            ctx_overhead_ns, kContextOverheadBudgetNs);
+    failed = true;
+  }
+  if (bc_disabled_ns >= kDisabledBreadcrumbBudgetNs) {
+    fprintf(stderr,
+            "\nFAIL: disabled breadcrumb + stage attribution %.2f ns/op "
+            "exceeds the %.0f ns budget\n",
+            bc_disabled_ns, kDisabledBreadcrumbBudgetNs);
     failed = true;
   }
   if (failed) return 1;

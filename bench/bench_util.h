@@ -11,6 +11,7 @@
 #include "iot/experiments.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slowops.h"
 #include "obs/trace.h"
 
 namespace benchutil {
@@ -28,11 +29,15 @@ namespace benchutil {
 ///   --trace-out=FILE     collect spans (WAL commits, flushes, compactions,
 ///                        fan-out, queries, ...) and write Chrome
 ///                        trace_event JSON; open in Perfetto.
+///   --slowops-out=FILE   write the slow-op flight recorder's K slowest
+///                        attributed ops (JSON, per-stage breakdowns) to
+///                        FILE at the end of the bench.
 struct Args {
   uint64_t scale = 1;
   std::string metrics_out;
   std::string timeline_out;
   std::string trace_out;
+  std::string slowops_out;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -51,6 +56,8 @@ inline Args ParseArgs(int argc, char** argv) {
       args.timeline_out = argv[i] + 15;
     } else if (strncmp(argv[i], "--trace-out=", 12) == 0) {
       args.trace_out = argv[i] + 12;
+    } else if (strncmp(argv[i], "--slowops-out=", 14) == 0) {
+      args.slowops_out = argv[i] + 14;
     }
   }
   return args;
@@ -117,6 +124,10 @@ inline iotdb::obs::Sampler& ProcessSampler() {
 inline void StartCollection(const Args& args) {
   if (!args.timeline_out.empty()) ProcessSampler().Start();
   if (!args.trace_out.empty()) iotdb::obs::TraceBuffer::StartTracing();
+  // Arm the flight recorder for benches that drive storage directly; runs
+  // that go through the BenchmarkDriver re-arm it per workload execution,
+  // so the final snapshot describes the last measured execution.
+  if (!args.slowops_out.empty()) iotdb::obs::SlowOpRecorder::StartRun();
 }
 
 /// Stops the process sampler and writes --timeline-out. Pass the bench's
@@ -158,6 +169,20 @@ inline void MaybeWriteTrace(const Args& args) {
            args.trace_out.c_str(), json.size(),
            static_cast<unsigned long long>(
                iotdb::obs::TraceBuffer::DroppedSpans()));
+  }
+}
+
+/// Writes the slow-op flight recorder's current top-K to --slowops-out
+/// (no-op when the flag is absent). Call once at the end of main.
+inline void MaybeWriteSlowOps(const Args& args) {
+  if (args.slowops_out.empty()) return;
+  std::vector<iotdb::obs::SlowOpRecorder::Record> records =
+      iotdb::obs::SlowOpRecorder::TakeSnapshot();
+  iotdb::obs::SlowOpRecorder::StopRun();
+  std::string json = iotdb::obs::SlowOpRecorder::ToJson(records);
+  if (WriteFile(args.slowops_out, json)) {
+    printf("slow-op flight recorder written to %s (%zu ops)\n",
+           args.slowops_out.c_str(), records.size());
   }
 }
 

@@ -18,9 +18,10 @@ if(rc)
   message(FATAL_ERROR "obs_tsan tier: configure failed (${rc})")
 endif()
 
-message(STATUS "obs_tsan tier: building obs_tests")
+message(STATUS "obs_tsan tier: building obs_tests + obs_cluster_tests")
 execute_process(
-  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --target obs_tests
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
+          --target obs_tests obs_cluster_tests
   RESULT_VARIABLE rc)
 if(rc)
   message(FATAL_ERROR "obs_tsan tier: build failed (${rc})")
@@ -32,4 +33,16 @@ execute_process(
   RESULT_VARIABLE rc)
 if(rc)
   message(FATAL_ERROR "obs_tsan tier: obs_tests failed under TSan (${rc})")
+endif()
+
+# The cross-layer causal-tracing tests drive a real replicated cluster
+# (driver thread -> shard group commit -> channel mailbox -> replica
+# apply), exactly the cross-thread interplay TSan exists to check.
+message(STATUS "obs_tsan tier: running obs_cluster_tests under TSan")
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/obs_cluster_tests
+  RESULT_VARIABLE rc)
+if(rc)
+  message(FATAL_ERROR
+          "obs_tsan tier: obs_cluster_tests failed under TSan (${rc})")
 endif()

@@ -38,6 +38,13 @@ struct Message {
   bool as_primary = false;
   uint64_t kvps = 0;
   uint64_t bytes = 0;
+  /// Causal-trace carriage (a wire header field, like request_id): the
+  /// sending op's trace id and span id. A receiver handling the message on
+  /// behalf of that op derives its spans as children of `parent_span_id`,
+  /// so one replicated write stays a single linked flow across the channel
+  /// boundary. Zero = untraced. Acks echo the request's values back.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   std::shared_ptr<const std::vector<std::pair<std::string, std::string>>> rows;
   Status status;  // meaningful on acks
 };

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/bloom.h"  // reuse BloomHash as the shard hash
@@ -342,25 +343,76 @@ void Cluster::HandleReplicaMessage(int node_id, Message msg) {
     case MessageKind::kWriteRequest: {
       // Sequence numbers are assigned per node store, so each replica
       // ingests the shared rows directly (vectorized, shard-routed).
-      Status s =
-          node->ApplyRows(*msg.rows, msg.as_primary, msg.kvps, msg.bytes);
+      // The message's trace header becomes the mailbox thread's current
+      // context, so the storage write path below links its group-commit
+      // spans into the originating op's flow; the apply also gets its own
+      // breadcrumb so replica-side storage stages enter the attribution
+      // histograms.
+      const bool traced =
+          msg.trace_id != 0 && obs::TraceBuffer::Enabled();
+      obs::TraceContext apply_ctx;
+      if (traced) {
+        apply_ctx.trace_id = msg.trace_id;
+        apply_ctx.span_id = obs::TraceContext::NextId();
+        apply_ctx.parent_id = msg.parent_span_id;
+      }
+      obs::ScopedOpBreadcrumb breadcrumb("cluster.replica_apply",
+                                         msg.trace_id, msg.kvps);
+      const uint64_t t0 = traced || breadcrumb.active()
+                              ? clock()->NowMicros()
+                              : 0;
+      Status s;
+      {
+        obs::ScopedTraceContext ctx_scope(apply_ctx);
+        s = node->ApplyRows(*msg.rows, msg.as_primary, msg.kvps, msg.bytes);
+      }
+      if (t0 != 0) {
+        const uint64_t elapsed = clock()->NowMicros() - t0;
+        breadcrumb.Complete(t0, elapsed);
+        if (traced) {
+          obs::TraceBuffer::Record("cluster.replica_apply", t0, elapsed,
+                                   apply_ctx, "kvps", msg.kvps);
+        }
+      }
       Message ack;
       ack.kind = MessageKind::kWriteAck;
       ack.request_id = msg.request_id;
       ack.src = node_id;
       ack.dst = kCoordinatorEndpoint;
       ack.kvps = msg.kvps;
+      ack.trace_id = msg.trace_id;
+      ack.parent_span_id = msg.parent_span_id;
       ack.status = std::move(s);
       channel_->Send(std::move(ack));
       return;
     }
     case MessageKind::kHintReplay: {
-      Status s = node->ApplyHintBatch(*msg.rows);
+      const bool traced =
+          msg.trace_id != 0 && obs::TraceBuffer::Enabled();
+      obs::TraceContext apply_ctx;
+      if (traced) {
+        apply_ctx.trace_id = msg.trace_id;
+        apply_ctx.span_id = obs::TraceContext::NextId();
+        apply_ctx.parent_id = msg.parent_span_id;
+      }
+      const uint64_t t0 = traced ? clock()->NowMicros() : 0;
+      Status s;
+      {
+        obs::ScopedTraceContext ctx_scope(apply_ctx);
+        s = node->ApplyHintBatch(*msg.rows);
+      }
+      if (traced) {
+        obs::TraceBuffer::Record("cluster.hint_apply", t0,
+                                 clock()->NowMicros() - t0, apply_ctx,
+                                 "kvps", msg.kvps);
+      }
       Message ack;
       ack.kind = MessageKind::kHintAck;
       ack.request_id = msg.request_id;
       ack.src = node_id;
       ack.dst = kHintServiceEndpoint;
+      ack.trace_id = msg.trace_id;
+      ack.parent_span_id = msg.parent_span_id;
       ack.status = std::move(s);
       channel_->Send(std::move(ack));
       return;
@@ -464,6 +516,8 @@ void Cluster::SendWriteRequestLocked(uint64_t request_id, PendingWrite* pw,
   msg.as_primary = (slot == pw->primary_slot);
   msg.kvps = pw->kvps;
   msg.bytes = pw->bytes;
+  msg.trace_id = pw->ctx.trace_id;
+  msg.parent_span_id = pw->ctx.span_id;
   msg.rows = pw->rows;
   // A false return means the channel is shutting down; the deadline timer
   // resolves the write either way.
@@ -516,11 +570,15 @@ void Cluster::FinalizeLocked(uint64_t request_id, PendingWrite* pw, bool met,
   availability_.writes_attempted++;
   if (met) {
     availability_.writes_quorum_met++;
-    if (obs::Enabled()) {
-      Instruments().quorum_met_writes->Increment();
-      obs::TraceBuffer::Record("cluster.quorum_ack", pw->start_micros,
-                               Clock::MonotonicMicros() - pw->start_micros,
-                               "acks", static_cast<uint64_t>(pw->acks));
+    if (obs::Enabled()) Instruments().quorum_met_writes->Increment();
+    if (obs::TraceBuffer::Enabled() && pw->start_wall_micros != 0) {
+      // Wall-clock timestamps so the span shares the storage/driver spans'
+      // timeline (monotonic start_micros keeps driving the timers); the
+      // pending write's context links the ack into the op's flow.
+      obs::TraceBuffer::Record(
+          "cluster.quorum_ack", pw->start_wall_micros,
+          clock()->NowMicros() - pw->start_wall_micros, pw->ctx, "acks",
+          static_cast<uint64_t>(pw->acks));
     }
     bool any_pending = false;
     int hinted = 0;
@@ -557,6 +615,11 @@ std::shared_ptr<Cluster::PendingWrite> Cluster::QuorumWriteStart(
   pw->kvps = kvps;
   pw->bytes = bytes;
   pw->start_micros = Clock::MonotonicMicros();
+  if (obs::TraceBuffer::Enabled()) {
+    pw->start_wall_micros = clock()->NowMicros();
+    const obs::TraceContext& caller = obs::CurrentTraceContext();
+    if (caller.valid()) pw->ctx = caller.Child();
+  }
   uint64_t deadline_micros =
       options_.retry_policy.op_deadline_micros > 0
           ? options_.retry_policy.op_deadline_micros
@@ -748,6 +811,13 @@ Status Cluster::SendHintBatchAndWait(int node_id,
   msg.src = kHintServiceEndpoint;
   msg.dst = node_id;
   msg.kvps = rows->size();
+  if (obs::TraceBuffer::Enabled()) {
+    // Hint replays are background ops with no enclosing request: mint a
+    // fresh trace so the replay and the replica's apply link as one flow.
+    replay_span.SetContext(obs::TraceContext::Mint());
+    msg.trace_id = replay_span.context().trace_id;
+    msg.parent_span_id = replay_span.context().span_id;
+  }
   msg.rows = std::move(rows);
   if (!channel_->Send(std::move(msg))) {
     replay_span.Cancel();
@@ -1187,6 +1257,7 @@ Status Client::RetryOp(const std::function<Status()>& op, Node* node) {
                               " attempts: " + s.message());
     }
     if (obs::Enabled()) Instruments().retry_attempts->Increment();
+    obs::AddStageMicros(obs::Stage::kRetryBackoff, backoff);
     cluster_->clock()->SleepMicros(backoff);
   }
 }
@@ -1198,9 +1269,32 @@ Status Client::WriteShardBatch(
   obs::TraceSpan fanout_span("cluster.fanout", Instruments().fanout_micros,
                              cluster_->clock());
   fanout_span.SetArg("kvps", kvps);
-  Status s = cluster_->QuorumWrite(
-      replicas,
-      std::make_shared<const Cluster::Rows>(std::move(rows)), kvps, bytes);
+  obs::TraceContext fanout_ctx;
+  if (obs::TraceBuffer::Enabled()) {
+    const obs::TraceContext& caller = obs::CurrentTraceContext();
+    if (caller.valid()) {
+      fanout_ctx = caller.Child();
+      fanout_span.SetContext(fanout_ctx);
+    }
+  }
+  // The pending write derives its context from the thread's current one;
+  // attribution splits the op into send (start) and quorum wait.
+  obs::ScopedTraceContext ctx_scope(fanout_ctx);
+  obs::OpBreadcrumb* bc = obs::CurrentBreadcrumb();
+  const uint64_t t0 = bc != nullptr ? cluster_->clock()->NowMicros() : 0;
+  std::shared_ptr<Cluster::PendingWrite> pw = cluster_->QuorumWriteStart(
+      replicas, std::make_shared<const Cluster::Rows>(std::move(rows)), kvps,
+      bytes);
+  uint64_t sent = 0;
+  if (bc != nullptr) {
+    sent = cluster_->clock()->NowMicros();
+    obs::AddStageMicros(obs::Stage::kFanoutSend, sent - t0);
+  }
+  Status s = cluster_->QuorumWriteWait(pw);
+  if (bc != nullptr) {
+    obs::AddStageMicros(obs::Stage::kQuorumWait,
+                        cluster_->clock()->NowMicros() - sent);
+  }
   if (!s.ok()) {
     fanout_span.Cancel();  // failed fan-outs would skew the latency profile
   }
@@ -1234,6 +1328,21 @@ Status Client::PutBatch(
   obs::TraceSpan fanout_span("cluster.fanout", Instruments().fanout_micros,
                              cluster_->clock());
   fanout_span.SetArg("kvps", total_kvps);
+  obs::TraceContext fanout_ctx;
+  if (obs::TraceBuffer::Enabled()) {
+    const obs::TraceContext& caller = obs::CurrentTraceContext();
+    if (caller.valid()) {
+      fanout_ctx = caller.Child();
+      fanout_span.SetContext(fanout_ctx);
+    }
+  }
+  // Every pipelined pending write derives its context from the fan-out
+  // span, so one driver batch traces as driver → fanout → per-group quorum
+  // writes. The send/wait boundary splits the attribution stages.
+  obs::ScopedTraceContext ctx_scope(fanout_ctx);
+  obs::OpBreadcrumb* bc = obs::CurrentBreadcrumb();
+  const uint64_t send_t0 =
+      bc != nullptr ? cluster_->clock()->NowMicros() : 0;
   std::vector<std::shared_ptr<Cluster::PendingWrite>> in_flight;
   in_flight.reserve(groups.size());
   for (auto& [primary, group] : groups) {
@@ -1249,10 +1358,19 @@ Status Client::PutBatch(
         std::make_shared<const Cluster::Rows>(std::move(group.rows)),
         group_kvps, group.bytes));
   }
+  uint64_t sent = 0;
+  if (bc != nullptr) {
+    sent = cluster_->clock()->NowMicros();
+    obs::AddStageMicros(obs::Stage::kFanoutSend, sent - send_t0);
+  }
   Status first_error;
   for (auto& pw : in_flight) {
     Status s = cluster_->QuorumWriteWait(pw);
     if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  if (bc != nullptr) {
+    obs::AddStageMicros(obs::Stage::kQuorumWait,
+                        cluster_->clock()->NowMicros() - sent);
   }
   if (!first_error.ok()) fanout_span.Cancel();
   return first_error;

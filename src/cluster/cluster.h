@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/env.h"
 #include "storage/fault_env.h"
 
@@ -266,7 +267,12 @@ class Cluster {
     bool quorum_met = false;
     bool straggler_timer_armed = false;
     Status error;
-    uint64_t start_micros = 0;  // monotonic
+    uint64_t start_micros = 0;       // monotonic, drives timers/deadlines
+    uint64_t start_wall_micros = 0;  // wall clock, for trace timestamps
+    /// The quorum write's own span in the requesting op's trace (invalid
+    /// when the op is untraced). Stamped into every outgoing request
+    /// message; the quorum-ack span records under it.
+    obs::TraceContext ctx;
   };
 
  private:

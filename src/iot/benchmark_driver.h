@@ -16,6 +16,7 @@
 #include "iot/pricing.h"
 #include "iot/rules.h"
 #include "obs/sampler.h"
+#include "obs/slowops.h"
 #include "obs/snapshot.h"
 
 namespace iotdb {
@@ -166,6 +167,11 @@ struct WorkloadExecution {
   /// BenchmarkConfig::timeline_cadence_micros. Empty when observability is
   /// disabled (the sampler is never started then).
   obs::Timeline timeline;
+  /// The K slowest ops of this execution with their full per-stage latency
+  /// breadcrumbs (slowest first), captured by the slow-op flight recorder.
+  /// Feeds the FDR "Latency attribution" slow-op table and --slowops-out.
+  /// Empty when the obs registry is disabled.
+  std::vector<obs::SlowOpRecorder::Record> slow_ops;
 
   uint64_t TotalQueries() const;
   uint64_t TotalQueryRows() const;

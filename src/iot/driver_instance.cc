@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -74,6 +75,19 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
       batch.emplace_back(std::move(kvp.key), std::move(kvp.value));
     }
 
+    // The op's causal identity: minted here (the op's entry point), carried
+    // by the thread-local context through the storage and replication
+    // layers, and recorded with every hop's span so the trace export links
+    // the whole replicated write as one flow. The breadcrumb collects the
+    // op's per-stage latencies; at completion they feed the attribution
+    // histograms and the slow-op flight recorder.
+    const bool tracing = obs::TraceBuffer::Enabled();
+    obs::TraceContext op_ctx;
+    if (tracing) op_ctx = obs::TraceContext::Mint();
+    obs::ScopedOpBreadcrumb breadcrumb("driver.insert_batch",
+                                       op_ctx.trace_id, batch.size());
+    obs::ScopedTraceContext ctx_scope(op_ctx);
+
     uint64_t t0 = clock->NowMicros();
     Status s = db_->InsertBatch(batch);
     // A quorum-lost or deadline-expired write is a transient availability
@@ -85,6 +99,7 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
          ++retry) {
       if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
       if (obs::Enabled()) Instruments().unavailable_retries->Increment();
+      obs::AddStageMicros(obs::Stage::kRetryBackoff, 1000u << retry);
       clock->SleepMicros(1000u << retry);
       s = db_->InsertBatch(batch);
     }
@@ -101,10 +116,13 @@ DriverResult DriverInstance::Run(std::atomic<bool>* abort,
       Instruments().insert_batch_micros->Record(insert_elapsed);
       Instruments().ingest_kvps->Add(batch.size());
     }
+    breadcrumb.Complete(t0, insert_elapsed);
     // Reuses the timestamps already taken for the latency histogram — the
     // trace costs no extra clock reads on the ingest hot path.
-    obs::TraceBuffer::Record("driver.insert_batch", t0, insert_elapsed,
-                             "kvps", batch.size());
+    if (tracing) {
+      obs::TraceBuffer::Record("driver.insert_batch", t0, insert_elapsed,
+                               op_ctx, "kvps", batch.size());
+    }
     result.kvps_ingested += batch.size();
 
     // Five queries for every 10,000 ingested readings, issued concurrently

@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "iot/run_timeline.h"
+#include "obs/attribution.h"
+#include "obs/slowops.h"
 
 namespace iotdb {
 namespace iot {
@@ -122,6 +124,94 @@ void AppendRunTimeline(std::string* out, const WorkloadExecution& warmup,
                "  Write-shard balance: %zu shards, hottest at %.0f%% of "
                "mean (%s)",
                shard_puts.size(), imbalance, detail.c_str());
+  }
+}
+
+/// FDR "Latency attribution" section: per-stage p50/p99 from the
+/// `attrib.<stage>_micros` histograms of the measured window, a dominant-
+/// stage critical-path estimate reconciled against the measured op p99, and
+/// the slow-op flight recorder's table.
+void AppendLatencyAttribution(std::string* out,
+                              const WorkloadExecution& measured) {
+  const obs::MetricsSnapshot& delta = measured.obs_delta;
+  const obs::HistogramSnapshot* stages[obs::kNumStages] = {};
+  bool any = false;
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    std::string key = "attrib.";
+    key += obs::StageName(static_cast<obs::Stage>(i));
+    key += "_micros";
+    auto it = delta.histograms.find(key);
+    if (it != delta.histograms.end() && it->second.count > 0) {
+      stages[i] = &it->second;
+      any = true;
+    }
+  }
+  if (!any && measured.slow_ops.empty()) return;
+
+  out->push_back('\n');
+  AppendLine(out,
+             "--- Latency attribution (performance run, measured window) "
+             "---");
+  AppendLine(out, "  %-18s %12s %12s %12s", "stage", "count", "p50 us",
+             "p99 us");
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    if (stages[i] == nullptr) continue;
+    AppendLine(out, "  %-18s %12llu %12.1f %12.1f",
+               obs::StageName(static_cast<obs::Stage>(i)),
+               static_cast<unsigned long long>(stages[i]->count),
+               stages[i]->Percentile(50), stages[i]->Percentile(99));
+  }
+
+  // Critical-path estimate: sum the per-stage p99s of ONE stage group. The
+  // storage stages run on whichever thread executes PutMany — under
+  // replication that is a replica mailbox thread, already inside the
+  // driver's quorum wait — so summing both groups would double-count. When
+  // quorum waits were recorded the op's critical path is the cluster group;
+  // otherwise (single-node, no replication layer) it is the storage group.
+  const bool replicated =
+      stages[static_cast<int>(obs::Stage::kQuorumWait)] != nullptr;
+  double estimate = 0.0;
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    if (stages[i] == nullptr) continue;
+    if (obs::IsClusterStage(static_cast<obs::Stage>(i)) != replicated) {
+      continue;
+    }
+    estimate += stages[i]->Percentile(99);
+  }
+  auto op_it = delta.histograms.find("driver.insert_batch_micros");
+  if (estimate > 0.0 && op_it != delta.histograms.end() &&
+      op_it->second.count > 0) {
+    const double op_p99 = op_it->second.Percentile(99);
+    const double ratio = op_p99 > 0.0 ? estimate / op_p99 : 0.0;
+    AppendLine(out,
+               "  [%s] critical path (%s stages): p99 sum %.1f us vs "
+               "measured insert p99 %.1f us (%.0f%%)",
+               ratio >= 0.85 && ratio <= 1.15 ? "PASS" : "WARN",
+               replicated ? "cluster" : "storage", estimate, op_p99,
+               100.0 * ratio);
+  }
+
+  if (!measured.slow_ops.empty()) {
+    AppendLine(out, "  Slowest ops (flight recorder, %zu kept):",
+               measured.slow_ops.size());
+    for (const obs::SlowOpRecorder::Record& rec : measured.slow_ops) {
+      const obs::OpBreadcrumb& bc = rec.breadcrumb;
+      int dominant = 0;
+      for (int i = 1; i < obs::kNumStages; ++i) {
+        if (bc.stage_micros[i] > bc.stage_micros[dominant]) dominant = i;
+      }
+      const uint64_t stage_sum = bc.StageSum();
+      AppendLine(out,
+                 "    %-20s %9.1f ms  stages %9.1f ms (%3.0f%%)  "
+                 "dominant %s  trace 0x%llx",
+                 bc.op, bc.total_micros / 1000.0, stage_sum / 1000.0,
+                 bc.total_micros > 0
+                     ? 100.0 * static_cast<double>(stage_sum) /
+                           static_cast<double>(bc.total_micros)
+                     : 0.0,
+                 obs::StageName(static_cast<obs::Stage>(dominant)),
+                 static_cast<unsigned long long>(bc.trace_id));
+    }
   }
 }
 
@@ -315,7 +405,17 @@ std::string FullDisclosureReport(const BenchmarkResult& result,
     AppendLine(&out,
                "--- Observability (performance run, measured window) ---");
     out += obs_delta.ToTable();
+    auto dropped = obs_delta.gauges.find("obs.trace.dropped_spans");
+    if (dropped != obs_delta.gauges.end() && dropped->second > 0) {
+      AppendLine(&out,
+                 "  WARNING: trace ring dropped %lld spans (oldest "
+                 "overwritten); flows in the exported trace may be "
+                 "incomplete",
+                 static_cast<long long>(dropped->second));
+    }
   }
+
+  AppendLatencyAttribution(&out, perf.measured);
 
   out.push_back('\n');
   AppendLine(&out, "--- Priced configuration ---");
@@ -356,6 +456,14 @@ Status WriteReportFiles(storage::Env* env, const std::string& dir,
   if (!timeline.empty()) {
     IOTDB_RETURN_NOT_OK(env->WriteStringToFile(dir + "/timeline.json",
                                                timeline.ToJson()));
+  }
+  // Slow-op flight recorder of the same window (the FDR "Latency
+  // attribution" slow-op table's raw data); omitted when nothing was kept.
+  const std::vector<obs::SlowOpRecorder::Record>& slow_ops =
+      result.iterations[result.performance_run].measured.slow_ops;
+  if (!slow_ops.empty()) {
+    IOTDB_RETURN_NOT_OK(env->WriteStringToFile(
+        dir + "/slowops.json", obs::SlowOpRecorder::ToJson(slow_ops)));
   }
   return Status::OK();
 }

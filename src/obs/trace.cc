@@ -3,11 +3,50 @@
 #include <algorithm>
 #include <mutex>
 #include <sstream>
+#include <unordered_set>
 
 namespace iotdb {
 namespace obs {
 
 std::atomic<bool> TraceBuffer::enabled_{false};
+
+namespace {
+
+/// The thread's current op context. A plain TLS struct (not a pointer)
+/// keeps reads branch-free; an invalid context is all zeroes.
+thread_local TraceContext tls_trace_context;
+
+}  // namespace
+
+uint64_t TraceContext::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext TraceContext::Mint() {
+  TraceContext ctx;
+  ctx.trace_id = NextId();
+  ctx.span_id = NextId();
+  ctx.parent_id = 0;
+  return ctx;
+}
+
+TraceContext TraceContext::Child() const {
+  TraceContext child;
+  child.trace_id = trace_id;
+  child.span_id = NextId();
+  child.parent_id = span_id;
+  return child;
+}
+
+const TraceContext& CurrentTraceContext() { return tls_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(tls_trace_context) {
+  tls_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace_context = prev_; }
 
 /// Every field is an individual atomic so a reader racing a wraparound
 /// overwrite sees, at worst, a mix of two complete records — never a torn
@@ -19,6 +58,9 @@ struct TraceBuffer::Slot {
   std::atomic<uint64_t> arg_value{0};
   std::atomic<uint64_t> start_micros{0};
   std::atomic<uint64_t> duration_micros{0};
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
 };
 
 /// Single-writer (the owning thread) / multi-reader ring. Readers only
@@ -36,7 +78,8 @@ struct TraceBuffer::ThreadRing {
   std::atomic<uint64_t> head{0};
 
   void Push(const char* name, uint64_t start_micros, uint64_t duration_micros,
-            const char* arg_name, uint64_t arg_value) {
+            const char* arg_name, uint64_t arg_value,
+            const TraceContext& ctx) {
     uint64_t h = head.load(std::memory_order_relaxed);
     Slot& slot = slots[h % capacity];
     slot.name.store(name, std::memory_order_relaxed);
@@ -44,6 +87,9 @@ struct TraceBuffer::ThreadRing {
     slot.arg_value.store(arg_value, std::memory_order_relaxed);
     slot.start_micros.store(start_micros, std::memory_order_relaxed);
     slot.duration_micros.store(duration_micros, std::memory_order_relaxed);
+    slot.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+    slot.span_id.store(ctx.span_id, std::memory_order_relaxed);
+    slot.parent_id.store(ctx.parent_id, std::memory_order_relaxed);
     head.store(h + 1, std::memory_order_release);
   }
 };
@@ -110,7 +156,15 @@ void TraceBuffer::Record(const char* name, uint64_t start_micros,
                          uint64_t arg_value) {
   if (!Enabled()) return;
   RingForThisThread()->Push(name, start_micros, duration_micros, arg_name,
-                            arg_value);
+                            arg_value, TraceContext());
+}
+
+void TraceBuffer::Record(const char* name, uint64_t start_micros,
+                         uint64_t duration_micros, const TraceContext& ctx,
+                         const char* arg_name, uint64_t arg_value) {
+  if (!Enabled()) return;
+  RingForThisThread()->Push(name, start_micros, duration_micros, arg_name,
+                            arg_value, ctx);
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() {
@@ -135,6 +189,9 @@ std::vector<TraceEvent> TraceBuffer::Snapshot() {
       event.start_micros = slot.start_micros.load(std::memory_order_relaxed);
       event.duration_micros =
           slot.duration_micros.load(std::memory_order_relaxed);
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      event.span_id = slot.span_id.load(std::memory_order_relaxed);
+      event.parent_id = slot.parent_id.load(std::memory_order_relaxed);
       event.tid = ring->tid;
       if (event.name != nullptr) events.push_back(event);
     }
@@ -148,12 +205,19 @@ std::vector<TraceEvent> TraceBuffer::Snapshot() {
 
 uint64_t TraceBuffer::DroppedSpans() {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
   uint64_t dropped = 0;
-  for (auto& ring : registry.rings) {
-    uint64_t head = ring->head.load(std::memory_order_acquire);
-    if (head > ring->capacity) dropped += head - ring->capacity;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& ring : registry.rings) {
+      uint64_t head = ring->head.load(std::memory_order_acquire);
+      if (head > ring->capacity) dropped += head - ring->capacity;
+    }
   }
+  // Mirror into the registry so metrics-only consumers (the FDR
+  // Observability section, metrics.json) see trace truncation too.
+  static Gauge* dropped_gauge =
+      MetricsRegistry::Global().GetGauge("obs.trace.dropped_spans");
+  dropped_gauge->Set(static_cast<int64_t>(dropped));
   return dropped;
 }
 
@@ -189,10 +253,35 @@ void AppendJsonEscaped(const char* s, std::string* out) {
 
 }  // namespace
 
+namespace {
+
+void AppendHexId(uint64_t id, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  *out += buf;
+}
+
+}  // namespace
+
 std::string TraceBuffer::ToChromeTraceJson() {
   std::vector<TraceEvent> events = Snapshot();
+
+  // Flow bindings are only emitted for edges both ends of which survived
+  // in the rings: a span gets flow_out only if a recorded child names it
+  // as parent, and flow_in only if its recorded parent is present. This
+  // keeps every bind_id's flow well formed (>= one producer and one
+  // consumer) even after wraparound dropped part of a trace.
+  std::unordered_set<uint64_t> span_ids;
+  std::unordered_set<uint64_t> referenced_parents;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0) continue;
+    span_ids.insert(event.span_id);
+    if (event.parent_id != 0) referenced_parents.insert(event.parent_id);
+  }
+
   std::string out;
-  out.reserve(events.size() * 96 + 256);
+  out.reserve(events.size() * 128 + 256);
   out += "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& event : events) {
@@ -206,11 +295,44 @@ std::string TraceBuffer::ToChromeTraceJson() {
     out += std::to_string(event.duration_micros);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(event.tid);
-    if (event.arg_name != nullptr) {
-      out += ",\"args\":{\"";
-      AppendJsonEscaped(event.arg_name, &out);
-      out += "\":";
-      out += std::to_string(event.arg_value);
+    if (event.trace_id != 0) {
+      // One flow per trace: every span of the op shares bind_id ==
+      // trace_id, so Perfetto chains arrows driver → group commit →
+      // channel → replica in timestamp order.
+      const bool flow_out = referenced_parents.count(event.span_id) != 0;
+      const bool flow_in =
+          event.parent_id != 0 && span_ids.count(event.parent_id) != 0;
+      if (flow_out || flow_in) {
+        out += ",\"bind_id\":\"";
+        AppendHexId(event.trace_id, &out);
+        out += '"';
+        if (flow_in) out += ",\"flow_in\":true";
+        if (flow_out) out += ",\"flow_out\":true";
+      }
+    }
+    if (event.arg_name != nullptr || event.trace_id != 0) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (event.arg_name != nullptr) {
+        out += '"';
+        AppendJsonEscaped(event.arg_name, &out);
+        out += "\":";
+        out += std::to_string(event.arg_value);
+        first_arg = false;
+      }
+      if (event.trace_id != 0) {
+        if (!first_arg) out += ',';
+        out += "\"trace\":\"";
+        AppendHexId(event.trace_id, &out);
+        out += "\",\"span\":\"";
+        AppendHexId(event.span_id, &out);
+        out += '"';
+        if (event.parent_id != 0) {
+          out += ",\"parent\":\"";
+          AppendHexId(event.parent_id, &out);
+          out += '"';
+        }
+      }
       out += '}';
     }
     out += '}';

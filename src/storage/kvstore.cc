@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #include "storage/compaction_filter.h"
 #include "storage/comparator.h"
@@ -143,6 +144,12 @@ struct KVStore::WriterState {
   bool sync;
   bool done;
   Status status;
+  /// Causal identity of the op this writer belongs to, captured from the
+  /// enqueueing thread while tracing. The group-commit leader commits on
+  /// behalf of queued followers, so the handoff must carry the context
+  /// across: the leader emits a flow-linked join event for every grouped
+  /// follower whose op is traced.
+  obs::TraceContext ctx;
   std::condition_variable cv;
 };
 
@@ -1042,19 +1049,40 @@ Status KVStore::PutMany(const WriteOptions& options,
 Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
                               WriteBatch* batch) {
   WriterState w(batch, options.sync || options_.wal_sync);
+  const bool tracing = obs::TraceBuffer::Enabled();
+  if (tracing) w.ctx = obs::CurrentTraceContext();
+  // Attribution: time queued behind the shard's leader (for a follower
+  // that is the op's whole storage latency — the leader commits its rows).
+  // Clock reads are gated on an installed breadcrumb so unattributed ops
+  // pay only the TLS load.
+  obs::OpBreadcrumb* bc = obs::CurrentBreadcrumb();
+  const uint64_t queue_t0 = bc != nullptr ? options_.clock->NowMicros() : 0;
 
   std::unique_lock<std::mutex> lock(shard->mu);
   shard->writers.push_back(&w);
   while (!w.done && &w != shard->writers.front()) {
     w.cv.wait(lock);
   }
-  if (w.done) return w.status;
+  if (w.done) {
+    if (bc != nullptr) {
+      obs::AddStageMicros(obs::Stage::kShardQueueWait,
+                          options_.clock->NowMicros() - queue_t0);
+    }
+    return w.status;
+  }
 
-  // This thread is the shard's group-commit leader.
+  // This thread is the shard's group-commit leader. Write stalls
+  // (MakeRoomForWrite) count as queue wait too: time the op spent blocked
+  // before its commit could proceed.
   bool switched = false;
   Status status = MakeRoomForWrite(shard, &lock, &switched);
+  if (bc != nullptr) {
+    obs::AddStageMicros(obs::Stage::kShardQueueWait,
+                        options_.clock->NowMicros() - queue_t0);
+  }
   WriterState* last_writer = &w;
   bool separated_commit = false;
+  uint64_t group_commit_ts = 0;  // WAL-commit wall time, for follower links
   if (status.ok()) {
     WriteBatch* updates = BuildBatchGroup(shard, &last_writer);
     const int batch_count = updates->Count();
@@ -1076,6 +1104,10 @@ Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
       shard->leader_active = true;
       lock.unlock();
       WriteBatch* to_commit = updates;
+      const uint64_t vlog_t0 =
+          bc != nullptr && options_.value_separation
+              ? options_.clock->NowMicros()
+              : 0;
       if (options_.value_separation) {
         // Key-value separation: divert large values into the active vlog
         // file and commit a batch of pointers instead. vlog_mu_ serialises
@@ -1097,8 +1129,11 @@ Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
         }
         if (status.ok()) separated_commit = true;
       }
+      if (vlog_t0 != 0) {
+        obs::AddStageMicros(obs::Stage::kVlog,
+                            options_.clock->NowMicros() - vlog_t0);
+      }
       const bool observe = obs::Enabled();
-      const bool tracing = obs::TraceBuffer::Enabled();
       uint64_t t0 = (observe || tracing) ? options_.clock->NowMicros() : 0;
       if (status.ok()) {
         status = shard->log->AddRecord(to_commit->Contents());
@@ -1109,20 +1144,29 @@ Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
       } else if (status.ok()) {
         status = shard->log_file->Flush();
       }
+      uint64_t wal_end = 0;
       if (observe || tracing) {
         // One commit, two sinks, zero extra clock reads: the histograms
         // get the append/sync split, the trace ring the whole span. The
         // shard id is the span arg so a trace viewer shows group commits
         // on different shards overlapping.
         uint64_t t2 = options_.clock->NowMicros();
+        wal_end = t2;
         if (observe) {
           obs_.wal_append_micros->Record(t1 - t0);
           obs_.wal_sync_micros->Record(t2 - t1);
           obs_.group_commit_kvps->Record(
               static_cast<uint64_t>(batch_count));
         }
+        obs::AddStageMicros(obs::Stage::kWalSync, t2 - t0);
+        group_commit_ts = t0;
         if (tracing) {
+          // Link the group commit into the leader op's trace (when it has
+          // one); queued followers are flow-linked in the handoff loop
+          // below.
           obs::TraceBuffer::Record("storage.wal.group_commit", t0, t2 - t0,
+                                   w.ctx.valid() ? w.ctx.Child()
+                                                 : obs::TraceContext(),
                                    "shard",
                                    static_cast<uint64_t>(shard->id));
         }
@@ -1135,6 +1179,12 @@ Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
       // failed groups' sequences too): an unpublished hole would stall
       // every later block's visibility forever.
       PublishSequence(first_seq, last_seq);
+      if (bc != nullptr && wal_end != 0) {
+        // Commit wait: memtable insert + sequence publication, the leader
+        // work after the WAL hits disk.
+        obs::AddStageMicros(obs::Stage::kCommitWait,
+                            options_.clock->NowMicros() - wal_end);
+      }
       lock.lock();
       shard->leader_active = false;
       shard->cv.notify_all();
@@ -1158,6 +1208,14 @@ Status KVStore::CommitToShard(WriteShard* shard, const WriteOptions& options,
     WriterState* ready = shard->writers.front();
     shard->writers.pop_front();
     if (ready != &w) {
+      if (tracing && ready->ctx.valid() && group_commit_ts != 0) {
+        // Leader handoff: this follower's rows rode the leader's group
+        // commit. A zero-duration join event parented under the follower's
+        // op keeps its trace flow-connected across the handoff.
+        obs::TraceBuffer::Record("storage.group_commit.join",
+                                 group_commit_ts, 0, ready->ctx.Child(),
+                                 "shard", static_cast<uint64_t>(shard->id));
+      }
       ready->status = status;
       ready->done = true;
       ready->cv.notify_one();

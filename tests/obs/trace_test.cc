@@ -125,6 +125,158 @@ TEST(TraceBufferTest, ConcurrentWritersProduceWellFormedJson) {
   EXPECT_TRUE(testing::JsonLint::Valid(json));
 }
 
+// Slice of the exported JSON covering the named event (up to the start of
+// the next event), so assertions can target one event's fields.
+std::string EventJson(const std::string& json, const std::string& name) {
+  size_t start = json.find("{\"name\":\"" + name + "\"");
+  if (start == std::string::npos) return "";
+  size_t end = json.find("{\"name\":", start + 1);
+  return json.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+TEST(TraceContextTest, MintAndChildLinkIds) {
+  TraceContext root = TraceContext::Mint();
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.trace_id, 0u);
+  EXPECT_EQ(root.parent_id, 0u);
+
+  TraceContext child = root.Child();
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+}
+
+TEST(TraceContextTest, ScopedContextInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  TraceContext root = TraceContext::Mint();
+  {
+    ScopedTraceContext outer(root);
+    EXPECT_EQ(CurrentTraceContext().span_id, root.span_id);
+    TraceContext child = CurrentTraceContext().Child();
+    {
+      ScopedTraceContext inner(child);
+      EXPECT_EQ(CurrentTraceContext().span_id, child.span_id);
+      EXPECT_EQ(CurrentTraceContext().parent_id, root.span_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().span_id, root.span_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+TEST(TraceBufferTest, ContextFieldsSurviveSnapshot) {
+  TraceBuffer::StartTracing(16);
+  TraceContext root = TraceContext::Mint();
+  TraceBuffer::Record("test.ctx", 100, 5, root, "kvps", 3);
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, root.trace_id);
+  EXPECT_EQ(events[0].span_id, root.span_id);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[0].arg_value, 3u);
+}
+
+TEST(TraceBufferTest, FlowEventsEmitWellFormedBindings) {
+  TraceBuffer::StartTracing(16);
+  TraceContext root = TraceContext::Mint();
+  TraceContext child = root.Child();
+  TraceContext grandchild = child.Child();
+  TraceBuffer::Record("test.flow.root", 100, 50, root);
+  TraceBuffer::Record("test.flow.child", 110, 20, child);
+  TraceBuffer::Record("test.flow.leaf", 120, 5, grandchild);
+  TraceBuffer::StopTracing();
+
+  std::string json = TraceBuffer::ToChromeTraceJson();
+  ASSERT_TRUE(testing::JsonLint::Valid(json)) << json;
+
+  char bind[32];
+  snprintf(bind, sizeof(bind), "\"bind_id\":\"0x%llx\"",
+           static_cast<unsigned long long>(root.trace_id));
+
+  // Every event of the op shares one flow (bind_id == trace_id): the root
+  // produces it, interior spans consume and re-produce, the leaf consumes.
+  std::string root_json = EventJson(json, "test.flow.root");
+  EXPECT_NE(root_json.find(bind), std::string::npos) << root_json;
+  EXPECT_NE(root_json.find("\"flow_out\":true"), std::string::npos);
+  EXPECT_EQ(root_json.find("\"flow_in\""), std::string::npos);
+
+  std::string child_json = EventJson(json, "test.flow.child");
+  EXPECT_NE(child_json.find(bind), std::string::npos) << child_json;
+  EXPECT_NE(child_json.find("\"flow_in\":true"), std::string::npos);
+  EXPECT_NE(child_json.find("\"flow_out\":true"), std::string::npos);
+
+  std::string leaf_json = EventJson(json, "test.flow.leaf");
+  EXPECT_NE(leaf_json.find(bind), std::string::npos) << leaf_json;
+  EXPECT_NE(leaf_json.find("\"flow_in\":true"), std::string::npos);
+  EXPECT_EQ(leaf_json.find("\"flow_out\""), std::string::npos);
+
+  // The causal ids ride in args for tooling that reads the raw JSON.
+  char parent_arg[32];
+  snprintf(parent_arg, sizeof(parent_arg), "\"parent\":\"0x%llx\"",
+           static_cast<unsigned long long>(root.span_id));
+  EXPECT_NE(child_json.find(parent_arg), std::string::npos) << child_json;
+}
+
+TEST(TraceBufferTest, FlowBindingsOmittedWhenParentWasDropped) {
+  TraceBuffer::StartTracing(16);
+  TraceContext root = TraceContext::Mint();
+  TraceContext orphan = root.Child();
+  // Only the child is recorded: its parent span never made the ring (as
+  // after wraparound), so no half-open flow may be emitted.
+  TraceBuffer::Record("test.flow.orphan", 100, 5, orphan);
+  TraceBuffer::StopTracing();
+
+  std::string json = TraceBuffer::ToChromeTraceJson();
+  ASSERT_TRUE(testing::JsonLint::Valid(json)) << json;
+  std::string orphan_json = EventJson(json, "test.flow.orphan");
+  EXPECT_EQ(orphan_json.find("\"flow_in\""), std::string::npos)
+      << orphan_json;
+  EXPECT_EQ(orphan_json.find("\"bind_id\""), std::string::npos);
+  // The parent id still appears in args: the link is data, only the
+  // rendered arrow is suppressed.
+  EXPECT_NE(orphan_json.find("\"parent\""), std::string::npos);
+}
+
+TEST(TraceBufferTest, CrossThreadChildLinksToParent) {
+  TraceBuffer::StartTracing(16);
+  TraceContext root = TraceContext::Mint();
+  TraceBuffer::Record("test.xthread.parent", 100, 50, root);
+  std::thread worker([&root] {
+    TraceBuffer::Record("test.xthread.child", 120, 10, root.Child());
+  });
+  worker.join();
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.xthread.parent");
+  EXPECT_STREQ(events[1].name, "test.xthread.child");
+  EXPECT_NE(events[0].tid, events[1].tid);  // separate per-thread rings
+  EXPECT_EQ(events[1].trace_id, events[0].trace_id);
+  EXPECT_EQ(events[1].parent_id, events[0].span_id);
+}
+
+TEST(TraceSpanTest, SetContextFlowsIntoRecordedEvent) {
+  SetEnabled(true);
+  ManualClock clock(1'000);
+  TraceBuffer::StartTracing(16);
+  TraceContext ctx = TraceContext::Mint();
+  {
+    TraceSpan span("test.span.ctx", nullptr, &clock);
+    span.SetContext(ctx);
+    clock.Advance(42);
+  }
+  TraceBuffer::StopTracing();
+
+  std::vector<TraceEvent> events = TraceBuffer::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(events[0].span_id, ctx.span_id);
+  EXPECT_EQ(events[0].duration_micros, 42u);
+}
+
 TEST(TraceSpanTest, RecordsHistogramAndTraceFromOneTiming) {
   SetEnabled(true);
   LatencyHistogram* hist =
